@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one experiment of EXPERIMENTS.md (E1–E8).  The
+heavy artefacts (the 3652-configuration enumeration and the exhaustive
+verification of the paper's algorithm) are computed once per session and
+shared across benchmark files.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.analysis.verification import VerificationReport, verify_configurations
+from repro.enumeration.polyhex import enumerate_connected_configurations
+
+
+@pytest.fixture(scope="session")
+def all_seven_robot_configurations():
+    """The 3652 connected initial configurations of the paper (experiment E1)."""
+    return enumerate_connected_configurations(7)
+
+
+@pytest.fixture(scope="session")
+def paper_algorithm_report(all_seven_robot_configurations) -> VerificationReport:
+    """Exhaustive verification of the transcribed Algorithm 1 (experiment E2)."""
+    return verify_configurations(
+        all_seven_robot_configurations,
+        ShibataGatheringAlgorithm(),
+        max_rounds=600,
+    )
+
+
+def print_table(title, rows):
+    """Print a small aligned table to the benchmark log."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    widths = {k: max(len(str(k)), max(len(str(r[k])) for r in rows)) for k in keys}
+    print(" | ".join(str(k).ljust(widths[k]) for k in keys))
+    print("-+-".join("-" * widths[k] for k in keys))
+    for row in rows:
+        print(" | ".join(str(row[k]).ljust(widths[k]) for k in keys))

@@ -1,0 +1,32 @@
+"""Experiment E1 — "all possible connected initial configurations (3652 patterns)".
+
+Regenerates the count of connected initial configurations of seven robots up
+to translation and validates the whole series 1, 3, 11, 44, 186, 814, 3652
+against the paper's figure and the fixed-polyhex sequence (OEIS A001207).
+"""
+import pytest
+
+from repro.enumeration.polyhex import FIXED_POLYHEX_COUNTS, enumerate_canonical_node_sets
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="E1-enumeration")
+def test_enumerate_all_3652_initial_configurations(benchmark):
+    shapes = benchmark.pedantic(
+        lambda: enumerate_canonical_node_sets(7), rounds=1, iterations=1
+    )
+    assert len(shapes) == 3652, "the paper's 3652 initial configurations"
+    rows = []
+    for size in range(1, 8):
+        count = len(enumerate_canonical_node_sets(size)) if size < 7 else len(shapes)
+        rows.append(
+            {
+                "robots": size,
+                "connected configurations": count,
+                "expected (paper / OEIS A001207)": FIXED_POLYHEX_COUNTS[size],
+                "match": count == FIXED_POLYHEX_COUNTS[size],
+            }
+        )
+    print_table("E1: connected initial configurations up to translation", rows)
+    assert all(row["match"] for row in rows)

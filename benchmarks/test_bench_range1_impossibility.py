@@ -1,0 +1,110 @@
+"""Experiments E3 and E5 — Theorem 1: visibility range 1 is not enough.
+
+E3(a): every candidate visibility-range-1 rule table fails (collision,
+disconnection, deadlock or livelock) on the line gadgets of Fig. 4.
+E3(b): the lazy rule-space search prunes every explored partial rule table on
+the gadget suite within its budget (a bounded computational restatement of
+the paper's case analysis).
+E5: the Figs. 12–13 endless-drift behaviour is reproduced as a livelock.
+"""
+import pytest
+
+from repro.algorithms.range1 import (
+    CANDIDATE_TABLES,
+    RuleTableAlgorithm,
+    line_configuration,
+    southeast_drift_table,
+)
+from repro.analysis.impossibility import default_gadget_suite, search_rule_space
+from repro.core.engine import run_execution
+from repro.core.trace import Outcome
+from repro.grid.directions import Direction
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="E3-range1")
+def test_candidate_rule_tables_all_fail(benchmark):
+    def evaluate():
+        rows = []
+        for table in CANDIDATE_TABLES:
+            algorithm = RuleTableAlgorithm(table)
+            outcomes = {}
+            for direction in (Direction.SE, Direction.E, Direction.NE):
+                trace = run_execution(
+                    line_configuration(direction), algorithm, max_rounds=500
+                )
+                outcomes[direction.name] = trace.outcome.value
+            rows.append({"rule table": table.name, **outcomes})
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_table("E3(a): candidate visibility-1 rule tables on the Fig. 4 line gadgets", rows)
+    for row in rows:
+        assert any(
+            value != Outcome.GATHERED.value
+            for key, value in row.items()
+            if key != "rule table"
+        ), f"{row['rule table']} unexpectedly solved every gadget"
+
+
+@pytest.mark.benchmark(group="E3-range1")
+def test_rule_space_search(benchmark):
+    result = benchmark.pedantic(
+        lambda: search_rule_space(suite=default_gadget_suite(), max_nodes=2000),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E3(b): lazy search over range-1 rule tables (line-gadget suite)",
+        [
+            {
+                "partial tables explored": result.nodes_explored,
+                "budget exhausted": result.budget_exhausted,
+                "refutation complete": result.refuted,
+                "surviving table found": result.surviving_table is not None,
+            }
+        ],
+    )
+    print_table(
+        "E3(b): why explored tables were pruned",
+        [
+            {"failure reason": reason, "count": count}
+            for reason, count in sorted(result.failure_reasons.items(), key=lambda kv: -kv[1])
+        ],
+    )
+    # No surviving table may be exhibited: that would contradict Theorem 1.
+    assert result.surviving_table is None
+    # Every pruned branch failed for one of the four legal reasons.
+    assert set(result.failure_reasons) <= {
+        "deadlock",
+        "disconnected",
+        "livelock",
+        "round-limit",
+        "collision:swap",
+        "collision:move-onto-staying",
+        "collision:same-target",
+    }
+
+
+@pytest.mark.benchmark(group="E5-range1-livelock")
+def test_figures_12_13_livelock(benchmark):
+    algorithm = RuleTableAlgorithm(southeast_drift_table())
+    trace = benchmark.pedantic(
+        lambda: run_execution(line_configuration(Direction.SE), algorithm, max_rounds=500),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E5: endless drift on the Fig. 4 line (Figs. 12-13 behaviour)",
+        [
+            {
+                "outcome": trace.outcome.value,
+                "rounds until repeat": trace.num_rounds,
+                "cycle start": trace.cycle_start,
+                "gathered": trace.final.is_gathered(),
+            }
+        ],
+    )
+    assert trace.outcome is Outcome.LIVELOCK
+    assert not trace.final.is_gathered()

@@ -1,0 +1,39 @@
+"""Experiment E7 (extension, ours) — round and move complexity.
+
+The paper does not quantify how long gathering takes.  This benchmark measures
+the distribution of rounds-to-gather and total robot moves as a function of
+the initial diameter over the successful executions of the exhaustive run.
+"""
+import pytest
+
+from repro.analysis.statistics import moves_by_diameter, rounds_by_diameter
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="E7-round-complexity")
+def test_round_and_move_complexity(benchmark, paper_algorithm_report):
+    report = paper_algorithm_report
+
+    def tabulate():
+        return rounds_by_diameter(report), moves_by_diameter(report)
+
+    rounds_tbl, moves_tbl = benchmark.pedantic(tabulate, rounds=1, iterations=1)
+    print_table(
+        "E7: rounds to gather by initial diameter",
+        [
+            {"initial diameter": diam, **{k: round(v, 2) for k, v in stats.items()}}
+            for diam, stats in rounds_tbl.items()
+        ],
+    )
+    print_table(
+        "E7: total robot moves by initial diameter",
+        [
+            {"initial diameter": diam, **{k: round(v, 2) for k, v in stats.items()}}
+            for diam, stats in moves_tbl.items()
+        ],
+    )
+    # Rounds grow with the initial diameter and stay small in absolute terms.
+    diameters = sorted(rounds_tbl)
+    assert rounds_tbl[diameters[-1]]["max"] >= rounds_tbl[diameters[0]]["max"]
+    assert rounds_tbl[diameters[-1]]["max"] <= 60

@@ -1,0 +1,48 @@
+"""Experiment E8 (extension, ours) — simulator and verifier throughput.
+
+Measures (a) single-execution latency of the FSYNC engine on a worst-case
+line configuration and (b) serial exhaustive-verification throughput in
+configurations per second, so performance regressions of the engine are
+caught by the benchmark history.
+"""
+import pytest
+
+from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.analysis.verification import verify_configurations
+from repro.core.configuration import Configuration
+from repro.core.engine import run_execution
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="E8-performance")
+def test_single_execution_latency(benchmark):
+    algorithm = ShibataGatheringAlgorithm()
+    east_line = Configuration([(i, 0) for i in range(7)])
+    trace = benchmark(lambda: run_execution(east_line, algorithm, max_rounds=200, record_rounds=False))
+    assert trace.succeeded
+
+
+@pytest.mark.benchmark(group="E8-performance")
+def test_verification_throughput(benchmark, all_seven_robot_configurations):
+    algorithm = ShibataGatheringAlgorithm()
+    sample = all_seven_robot_configurations[::20]  # 183 configurations
+
+    report = benchmark.pedantic(
+        lambda: verify_configurations(sample, algorithm, max_rounds=600),
+        rounds=1,
+        iterations=1,
+    )
+    stats = benchmark.stats.stats
+    throughput = len(sample) / stats.mean if stats.mean else float("inf")
+    print_table(
+        "E8: serial verification throughput",
+        [
+            {
+                "configurations": len(sample),
+                "seconds": round(stats.mean, 3),
+                "configurations / second": round(throughput, 1),
+            }
+        ],
+    )
+    assert report.total == len(sample)

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's gathering algorithm on one initial configuration.
+
+Seven oblivious robots with visibility range 2 start on a straight east-west
+line; the algorithm of Shibata et al. (2021) gathers them into a filled
+hexagon under the fully synchronous scheduler.  The script prints every frame
+of the execution as ASCII art.
+
+Run with:  python examples/quickstart.py
+"""
+from repro import Configuration, ShibataGatheringAlgorithm, run_execution
+from repro.viz import render_trace
+
+
+def main() -> None:
+    # Seven robots on a straight line along the x-axis.
+    initial = Configuration([(i, 0) for i in range(7)])
+    algorithm = ShibataGatheringAlgorithm()
+
+    trace = run_execution(initial, algorithm, max_rounds=100)
+
+    print(render_trace(trace, max_frames=12))
+    print()
+    print(f"gathered: {trace.final.is_gathered()}")
+    print(f"rounds:   {trace.num_rounds}")
+    print(f"moves:    {trace.total_moves}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Theorem 1 in action: why visibility range 1 is not enough (experiment E3/E5).
+
+The script (1) runs every candidate visibility-range-1 rule table on the line
+gadgets of Fig. 4 and shows how each one fails, (2) replays the endless-drift
+livelock of Figs. 12–13, and (3) runs the lazy rule-space search that prunes
+every explored partial rule table — the computational counterpart of the
+paper's case analysis.
+
+Run with:  python examples/range1_counterexample.py
+"""
+from repro.algorithms.range1 import (
+    CANDIDATE_TABLES,
+    RuleTableAlgorithm,
+    line_configuration,
+    southeast_drift_table,
+)
+from repro.analysis.impossibility import default_gadget_suite, search_rule_space
+from repro.core.engine import run_execution
+from repro.grid.directions import Direction
+from repro.viz import render_configuration
+
+
+def main() -> None:
+    print("== candidate visibility-range-1 rule tables on the Fig. 4 line gadgets ==")
+    for table in CANDIDATE_TABLES:
+        algorithm = RuleTableAlgorithm(table)
+        outcomes = []
+        for direction in (Direction.SE, Direction.E, Direction.NE):
+            trace = run_execution(line_configuration(direction), algorithm, max_rounds=500)
+            outcomes.append(f"{direction.name}-line: {trace.outcome.value}")
+        print(f"  {table.name:>18}  " + ", ".join(outcomes))
+
+    print()
+    print("== the Figs. 12-13 endless drift (livelock) ==")
+    trace = run_execution(
+        line_configuration(Direction.SE),
+        RuleTableAlgorithm(southeast_drift_table()),
+        max_rounds=500,
+    )
+    print(render_configuration(trace.initial))
+    print(
+        f"outcome: {trace.outcome.value} (configuration repeats from round "
+        f"{trace.cycle_start}); gathering is never reached"
+    )
+
+    print()
+    print("== lazy search over range-1 rule tables (bounded) ==")
+    result = search_rule_space(suite=default_gadget_suite(), max_nodes=2000)
+    print(f"partial tables explored: {result.nodes_explored}")
+    print(f"budget exhausted:        {result.budget_exhausted}")
+    print(f"surviving table found:   {result.surviving_table is not None}")
+    print("pruning reasons:")
+    for reason, count in sorted(result.failure_reasons.items(), key=lambda kv: -kv[1]):
+        print(f"  {reason:>28}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro: reproduction of "Gathering of seven autonomous mobile robots on triangular grids".
+
+The package implements the full system of Shibata et al. (2021): the
+triangular-grid substrate, the oblivious-robot Look--Compute--Move model, the
+visibility-range-2 gathering algorithm of Theorem 2, the visibility-range-1
+impossibility machinery of Theorem 1, exhaustive enumeration of the 3652
+connected initial configurations, and the verification / benchmark harnesses
+that regenerate the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import Configuration, ShibataGatheringAlgorithm, run_execution
+>>> from repro import line
+>>> trace = run_execution(line(7), ShibataGatheringAlgorithm())
+>>> trace.outcome.value
+'gathered'
+"""
+from .algorithms import (
+    FullVisibilityGreedyAlgorithm,
+    NaiveEastAlgorithm,
+    RuleTable,
+    RuleTableAlgorithm,
+    ShibataGatheringAlgorithm,
+    available_algorithms,
+    create_algorithm,
+    determine_base_label,
+    register_algorithm,
+)
+from .analysis import (
+    VerificationReport,
+    verify_all_configurations,
+    verify_configuration,
+    verify_configurations,
+)
+from .core import (
+    GATHERING_SIZE,
+    Configuration,
+    ExecutionTrace,
+    FullySynchronousScheduler,
+    FunctionAlgorithm,
+    GatheringAlgorithm,
+    Outcome,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    StayAlgorithm,
+    View,
+    from_offsets,
+    hexagon,
+    line,
+    run_execution,
+    view_of,
+)
+from .enumeration import (
+    FIXED_POLYHEX_COUNTS,
+    count_connected_configurations,
+    enumerate_connected_configurations,
+)
+from .grid import Coord, Direction, distance, neighbors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "GATHERING_SIZE",
+    "FIXED_POLYHEX_COUNTS",
+    "Configuration",
+    "Coord",
+    "Direction",
+    "ExecutionTrace",
+    "FullVisibilityGreedyAlgorithm",
+    "FullySynchronousScheduler",
+    "FunctionAlgorithm",
+    "GatheringAlgorithm",
+    "NaiveEastAlgorithm",
+    "Outcome",
+    "RandomSubsetScheduler",
+    "RoundRobinScheduler",
+    "RuleTable",
+    "RuleTableAlgorithm",
+    "ShibataGatheringAlgorithm",
+    "StayAlgorithm",
+    "VerificationReport",
+    "View",
+    "available_algorithms",
+    "count_connected_configurations",
+    "create_algorithm",
+    "determine_base_label",
+    "distance",
+    "enumerate_connected_configurations",
+    "from_offsets",
+    "hexagon",
+    "line",
+    "neighbors",
+    "register_algorithm",
+    "run_execution",
+    "verify_all_configurations",
+    "verify_configuration",
+    "verify_configurations",
+    "view_of",
+]

@@ -1,0 +1,55 @@
+"""Gathering algorithms: the paper's visibility-2 algorithm, range-1 rule tables and baselines."""
+from .base_node import (
+    BASE_MOVE_LABELS,
+    BASE_STAY_LABELS,
+    base_candidates,
+    determine_base_label,
+)
+from .baselines import (
+    FULL_VISIBILITY_RANGE,
+    FullVisibilityGreedyAlgorithm,
+    NaiveEastAlgorithm,
+)
+from .range1 import (
+    CANDIDATE_TABLES,
+    RuleTable,
+    RuleTableAlgorithm,
+    ViewKey,
+    all_view_keys,
+    centroid_pull_table,
+    clockwise_drift_table,
+    east_pull_table,
+    line_configuration,
+    southeast_drift_table,
+    view_key_of,
+    zigzag_configuration,
+)
+from .registry import available_algorithms, create_algorithm, register_algorithm
+from .visibility2 import ALL_RULE_IDS, ShibataGatheringAlgorithm
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "BASE_MOVE_LABELS",
+    "BASE_STAY_LABELS",
+    "CANDIDATE_TABLES",
+    "FULL_VISIBILITY_RANGE",
+    "FullVisibilityGreedyAlgorithm",
+    "NaiveEastAlgorithm",
+    "RuleTable",
+    "RuleTableAlgorithm",
+    "ShibataGatheringAlgorithm",
+    "ViewKey",
+    "all_view_keys",
+    "available_algorithms",
+    "base_candidates",
+    "centroid_pull_table",
+    "clockwise_drift_table",
+    "create_algorithm",
+    "determine_base_label",
+    "east_pull_table",
+    "line_configuration",
+    "register_algorithm",
+    "southeast_drift_table",
+    "view_key_of",
+    "zigzag_configuration",
+]

@@ -1,0 +1,66 @@
+"""Base-node determination for the visibility-range-2 algorithm (Section IV-A).
+
+Every robot first determines its *base node*: the robot node with the largest
+x-element among the labels of the robot nodes in its view (possibly its own
+node).  The base node acts as the rightmost node of the target gathered
+hexagon.  Two special situations are handled exactly as in the paper:
+
+* if several robot nodes share the largest x-element, the robot does not
+  determine a base node and waits (Fig. 49(b)),
+* if node ``(4, 0)`` is empty while ``(3, 1)`` and ``(3, -1)`` are robot
+  nodes, the empty node ``(4, 0)`` is adopted as the base node so that the
+  system does not stall with nobody choosing a base (Fig. 49 discussion).
+
+The second exception of the prose — robot nodes ``(1, 1)`` and ``(1, -1)``
+holding the maximum x-element, which makes the observing robot move east to
+become the base itself (Fig. 49(c)) — is a *movement* rule rather than a base
+choice and lives in :mod:`repro.algorithms.visibility2`.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.view import View
+from ..grid.labels import Label
+
+__all__ = [
+    "base_candidates",
+    "determine_base_label",
+    "BASE_STAY_LABELS",
+    "BASE_MOVE_LABELS",
+]
+
+#: Base labels for which the observing robot is already part of the target
+#: hexagon and therefore stays (Algorithm 1, lines 31–33).
+BASE_STAY_LABELS: Tuple[Label, ...] = ((0, 0), (2, 0), (1, 1), (1, -1))
+
+#: Base labels for which the observing robot is outside the target hexagon and
+#: the movement rules of Fig. 50 apply (Algorithm 1, lines 5–29).
+BASE_MOVE_LABELS: Tuple[Label, ...] = ((2, -2), (3, -1), (4, 0), (3, 1), (2, 2))
+
+
+def base_candidates(view: View) -> List[Label]:
+    """Robot labels holding the maximum x-element in ``view`` (self included)."""
+    return view.labels_with_max_x()
+
+
+def determine_base_label(view: View) -> Optional[Label]:
+    """The label of the base node for a robot whose Look produced ``view``.
+
+    Returns ``None`` when the robot cannot determine a base node (several
+    robot nodes tie for the largest x-element and the ``(4, 0)`` exception
+    does not apply), in which case the robot waits.
+    """
+    if view.visibility_range < 2:
+        raise ValueError("base-node determination requires visibility range 2")
+    # Exception: empty (4,0) flanked by robots at (3,1) and (3,-1).
+    if (
+        view.empty_label((4, 0))
+        and view.occupied_label((3, 1))
+        and view.occupied_label((3, -1))
+    ):
+        return (4, 0)
+    candidates = base_candidates(view)
+    if len(candidates) == 1:
+        return candidates[0]
+    return None

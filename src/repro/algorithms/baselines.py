@@ -1,0 +1,133 @@
+"""Baseline gathering algorithms used for comparison in the benchmarks.
+
+The paper's contribution is that visibility range 2 suffices.  To put its
+algorithm in context, the benchmark harness also runs:
+
+* :class:`FullVisibilityGreedyAlgorithm` — robots see the whole configuration
+  (unbounded visibility) and greedily compact towards the globally rightmost
+  robot.  This represents the "easy" end of the visibility spectrum.
+* :class:`NaiveEastAlgorithm` — a deliberately simplistic visibility-2 rule
+  (move east whenever the east node is empty and some robot is visible to the
+  east-ish side) that demonstrates why the paper's guard clauses are needed:
+  it disconnects or deadlocks on many configurations.
+
+Baselines are not claimed to be correct; their measured success rates are part
+of the benchmark output (experiments E2 and E6).
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.algorithm import GatheringAlgorithm, Move
+from ..core.view import View
+from ..grid.coords import Coord, distance
+from ..grid.directions import DIRECTIONS, Direction
+
+__all__ = [
+    "FullVisibilityGreedyAlgorithm",
+    "NaiveEastAlgorithm",
+    "FULL_VISIBILITY_RANGE",
+]
+
+#: Visibility range that is effectively unlimited for seven connected robots:
+#: a connected configuration of seven robots has diameter at most six.
+FULL_VISIBILITY_RANGE = 6
+
+
+class FullVisibilityGreedyAlgorithm(GatheringAlgorithm):
+    """Unbounded-visibility greedy compaction towards the rightmost robot.
+
+    Every robot sees the entire configuration (visibility range 6 suffices for
+    seven connected robots).  The globally rightmost robot node (largest
+    doubled x-coordinate, ties broken by the largest y) is the *anchor*; the
+    target shape is the filled hexagon whose east vertex is the anchor.  A
+    robot not yet on a target node moves to an adjacent empty node that
+    reduces its distance to the nearest free target node, provided that
+
+    * the destination keeps at least one robot adjacent (connectivity guard),
+    * the robot is the unique mover for that destination: among all robots
+      adjacent to the destination that would also like to enter it, only the
+      one at the lexicographically largest relative position moves (collision
+      guard, computable because every robot sees everything).
+
+    The algorithm is a baseline: it is *not* proven correct, and its measured
+    success rate over the 3652 initial configurations is reported by the
+    benchmarks for context.
+    """
+
+    visibility_range = FULL_VISIBILITY_RANGE
+    name = "full-visibility-greedy"
+
+    def compute(self, view: View) -> Move:
+        # Reconstruct the whole configuration relative to this robot.
+        robots: List[Coord] = sorted(set(view.occupied_offsets) | {Coord(0, 0)})
+
+        anchor = max(robots, key=lambda c: (2 * c.q + c.r, c.r))
+        center = anchor.step(Direction.W)
+        targets = {center, *[center.step(d) for d in DIRECTIONS]}
+        free_targets = [t for t in targets if t not in robots]
+        me = Coord(0, 0)
+        if me in targets:
+            return None
+        if not free_targets:
+            return None
+
+        def score(node: Coord) -> Tuple[int, int, int]:
+            nearest = min(distance(node, t) for t in free_targets)
+            return (nearest, 2 * node.q + node.r, node.r)
+
+        best_move: Optional[Direction] = None
+        best_score = score(me)
+        for direction in DIRECTIONS:
+            dest = me.step(direction)
+            if dest in robots:
+                continue
+            # Connectivity guard: keep at least one robot adjacent after moving.
+            if not any(dest.step(d) in robots and dest.step(d) != me for d in DIRECTIONS):
+                continue
+            cand_score = score(dest)
+            if cand_score < best_score:
+                best_score = cand_score
+                best_move = direction
+        if best_move is None:
+            return None
+
+        dest = me.step(best_move)
+        # Collision guard: yield to any other robot that could also enter the
+        # destination and sits at a larger position in the global order.
+        for other in robots:
+            if other == me:
+                continue
+            if distance(other, dest) != 1:
+                continue
+            other_score = score(other)
+            if other_score <= best_score:
+                continue  # the other robot is not attracted to this target
+            # The other robot might also want dest; break the tie globally.
+            if (2 * other.q + other.r, other.r) > (0, 0):
+                return None
+        return best_move
+
+
+class NaiveEastAlgorithm(GatheringAlgorithm):
+    """A deliberately naive visibility-2 rule used as a negative control.
+
+    Move east whenever the east node is empty and there is at least one robot
+    in the eastern half of the view; otherwise stay.  The rule ignores
+    connectivity and mutual-exclusion concerns, so it fails (disconnection,
+    deadlock or livelock) on a large fraction of the 3652 initial
+    configurations — quantified in the benchmarks as a negative control.
+    """
+
+    visibility_range = 2
+    name = "naive-east"
+
+    def compute(self, view: View) -> Move:
+        if view.occupied_label((2, 0)):
+            return None
+        east_half = any(
+            label[0] > 0 for label in view.occupied_labels
+        )
+        if not east_half:
+            return None
+        return Direction.E

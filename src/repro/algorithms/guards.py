@@ -1,0 +1,74 @@
+"""Shared, locally-checkable guards used by the visibility-2 algorithms.
+
+Both the literal transcription of Algorithm 1 and the reconstructed variant
+need the same low-level safety questions answered from a single robot's view:
+
+* *connectivity*: if I move in this direction, does every robot currently
+  adjacent to me stay in my connected component, judging only by the robots I
+  can see?
+* *uncontested entry*: could any other robot adjacent to my target plausibly
+  enter it this round?
+
+Because a robot sees two hops, every node adjacent to an adjacent node is
+inside its view, which makes these checks exact at Look time (they remain
+conservative with respect to simultaneous moves; the exhaustive verification
+of experiment E2 is the final arbiter, exactly as in the paper).
+"""
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.view import View
+from ..grid.coords import Coord
+from ..grid.directions import DIRECTIONS, Direction
+
+__all__ = ["connectivity_safe", "entry_uncontested"]
+
+
+def connectivity_safe(view: View, direction: Direction) -> bool:
+    """Whether moving in ``direction`` keeps all current neighbours reachable.
+
+    The robot simulates its own move inside its visibility window and checks
+    that every robot currently adjacent to it lies in the same connected
+    component as the move target.  Robots connected only through nodes outside
+    the window make the check fail, which postpones the move (conservative).
+    """
+    me = Coord(0, 0)
+    target = Coord(*direction.value)
+    old_neighbors: List[Coord] = [
+        Coord(*d.value) for d in DIRECTIONS if view.occupied(Coord(*d.value))
+    ]
+    if not old_neighbors:
+        return False
+    after: Set[Coord] = set(view.occupied_offsets)
+    after.discard(me)
+    after.add(target)
+    component = {target}
+    frontier = [target]
+    while frontier:
+        node = frontier.pop()
+        for d in DIRECTIONS:
+            nb = node.step(d)
+            if nb in after and nb not in component:
+                component.add(nb)
+                frontier.append(nb)
+    return all(neighbor in component for neighbor in old_neighbors)
+
+
+def entry_uncontested(view: View, direction: Direction) -> bool:
+    """Whether no other robot is adjacent to the move target.
+
+    This is the strongest mutual-exclusion guard: with no other robot adjacent
+    to the target, no simultaneous move can produce any of the three forbidden
+    behaviours around it.  It is used by rules that are rare enough that
+    waiting for the neighbourhood to clear does not hurt progress.
+    """
+    me = Coord(0, 0)
+    target = Coord(*direction.value)
+    for d in DIRECTIONS:
+        neighbor = target.step(d)
+        if neighbor == me:
+            continue
+        if view.occupied(neighbor):
+            return False
+    return True

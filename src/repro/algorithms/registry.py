@@ -1,0 +1,63 @@
+"""A small registry mapping algorithm names to factories.
+
+The CLI, the examples and the benchmark harness all construct algorithms by
+name through this registry so that new algorithms (e.g. user experiments) can
+be plugged in without touching the drivers.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.algorithm import GatheringAlgorithm, StayAlgorithm
+from .baselines import FullVisibilityGreedyAlgorithm, NaiveEastAlgorithm
+from .range1 import CANDIDATE_TABLES, RuleTableAlgorithm
+from .visibility2 import ShibataGatheringAlgorithm
+
+__all__ = ["register_algorithm", "create_algorithm", "available_algorithms"]
+
+_REGISTRY: Dict[str, Callable[[], GatheringAlgorithm]] = {}
+
+
+def register_algorithm(name: str, factory: Callable[[], GatheringAlgorithm]) -> None:
+    """Register a new algorithm factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def create_algorithm(name: str) -> GatheringAlgorithm:
+    """Instantiate the algorithm registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        If no algorithm with that name is registered.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered algorithms, sorted."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations.
+# ---------------------------------------------------------------------------
+register_algorithm("shibata-visibility2", ShibataGatheringAlgorithm)
+register_algorithm(
+    "shibata-visibility2-literal",
+    lambda: ShibataGatheringAlgorithm(include_reconstructed=False),
+)
+register_algorithm("full-visibility-greedy", FullVisibilityGreedyAlgorithm)
+register_algorithm("naive-east", NaiveEastAlgorithm)
+register_algorithm("stay", StayAlgorithm)
+for _table in CANDIDATE_TABLES:
+    register_algorithm(
+        f"range1:{_table.name}",
+        lambda table=_table: RuleTableAlgorithm(table),
+    )

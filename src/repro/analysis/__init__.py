@@ -1,0 +1,44 @@
+"""Analysis: exhaustive verification, metrics, statistics and the impossibility search."""
+from .impossibility import (
+    SearchResult,
+    SimulationProbe,
+    default_gadget_suite,
+    search_rule_space,
+    simulate_with_partial_table,
+)
+from .metrics import ExecutionMetrics, compute_metrics, diameter_trajectory
+from .statistics import (
+    describe,
+    moves_by_diameter,
+    outcome_by_diameter,
+    rounds_by_diameter,
+    success_table,
+)
+from .verification import (
+    ConfigurationResult,
+    VerificationReport,
+    verify_all_configurations,
+    verify_configuration,
+    verify_configurations,
+)
+
+__all__ = [
+    "ConfigurationResult",
+    "ExecutionMetrics",
+    "SearchResult",
+    "SimulationProbe",
+    "VerificationReport",
+    "compute_metrics",
+    "default_gadget_suite",
+    "describe",
+    "diameter_trajectory",
+    "moves_by_diameter",
+    "outcome_by_diameter",
+    "rounds_by_diameter",
+    "search_rule_space",
+    "simulate_with_partial_table",
+    "success_table",
+    "verify_all_configurations",
+    "verify_configuration",
+    "verify_configurations",
+]

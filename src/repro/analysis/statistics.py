@@ -1,0 +1,81 @@
+"""Aggregate statistics over verification reports.
+
+Used by the E2 and E7 benchmarks to summarise the exhaustive runs: rounds and
+moves as a function of the initial diameter, outcome breakdowns, and simple
+numpy-backed descriptive statistics.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from .verification import ConfigurationResult, VerificationReport
+
+__all__ = [
+    "describe",
+    "rounds_by_diameter",
+    "moves_by_diameter",
+    "outcome_by_diameter",
+    "success_table",
+]
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max / percentiles of a sequence (empty-safe)."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+    arr = np.asarray(list(values), dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+    }
+
+
+def _group_by_diameter(results: Iterable[ConfigurationResult]) -> Dict[int, List[ConfigurationResult]]:
+    groups: Dict[int, List[ConfigurationResult]] = {}
+    for result in results:
+        groups.setdefault(result.initial_diameter, []).append(result)
+    return dict(sorted(groups.items()))
+
+
+def rounds_by_diameter(report: VerificationReport) -> Dict[int, Dict[str, float]]:
+    """Round statistics of the *successful* executions, grouped by initial diameter."""
+    groups = _group_by_diameter(r for r in report.results if r.succeeded)
+    return {diam: describe([r.rounds for r in items]) for diam, items in groups.items()}
+
+
+def moves_by_diameter(report: VerificationReport) -> Dict[int, Dict[str, float]]:
+    """Total-move statistics of the successful executions, grouped by initial diameter."""
+    groups = _group_by_diameter(r for r in report.results if r.succeeded)
+    return {diam: describe([r.total_moves for r in items]) for diam, items in groups.items()}
+
+
+def outcome_by_diameter(report: VerificationReport) -> Dict[int, Dict[str, int]]:
+    """Outcome histogram per initial diameter (successes and failures)."""
+    table: Dict[int, Dict[str, int]] = {}
+    for result in report.results:
+        row = table.setdefault(result.initial_diameter, {})
+        row[result.outcome.value] = row.get(result.outcome.value, 0) + 1
+    return dict(sorted(table.items()))
+
+
+def success_table(reports: Mapping[str, VerificationReport]) -> List[Dict[str, object]]:
+    """One summary row per algorithm, for side-by-side benchmark output."""
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            {
+                "algorithm": name,
+                "configurations": report.total,
+                "gathered": report.successes,
+                "success_rate": round(report.success_rate, 4),
+                "max_rounds": report.max_rounds(),
+                "mean_rounds": round(report.mean_rounds(), 2),
+            }
+        )
+    return rows

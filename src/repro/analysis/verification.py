@@ -1,0 +1,222 @@
+"""Exhaustive verification harness (experiment E2).
+
+The paper validates Theorem 2 by simulating the algorithm "from all possible
+connected initial configurations (3652 patterns in total)" under FSYNC.  This
+module reruns exactly that experiment: it enumerates every connected initial
+configuration of seven robots (up to translation), runs one execution per
+configuration and aggregates the outcomes.
+
+The harness runs serially by default; because configurations are independent
+the work is embarrassingly parallel, and :func:`verify_all_configurations`
+accepts ``workers > 1`` to fan the executions out over a multiprocessing pool
+(one chunk of configurations per task, following the guidance of the HPC
+coding guides: parallelise the outer, independent loop and keep the per-task
+payload large enough to amortise the process overhead).
+"""
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import create_algorithm
+from ..core.algorithm import GatheringAlgorithm
+from ..core.configuration import Configuration
+from ..core.engine import DEFAULT_MAX_ROUNDS, run_execution
+from ..core.trace import Outcome
+from ..enumeration.polyhex import enumerate_connected_configurations
+
+__all__ = [
+    "ConfigurationResult",
+    "VerificationReport",
+    "verify_configuration",
+    "verify_configurations",
+    "verify_all_configurations",
+]
+
+
+@dataclass(frozen=True)
+class ConfigurationResult:
+    """Outcome of one execution from one initial configuration."""
+
+    #: Canonical node tuple of the initial configuration (hashable, compact).
+    initial_nodes: Tuple[Tuple[int, int], ...]
+    #: Outcome of the execution.
+    outcome: Outcome
+    #: Number of rounds until termination (or until the failure was detected).
+    rounds: int
+    #: Total number of robot moves.
+    total_moves: int
+    #: Diameter of the initial configuration.
+    initial_diameter: int
+    #: Collision kind when the outcome is a collision.
+    collision_kind: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether this configuration gathered successfully."""
+        return self.outcome is Outcome.GATHERED
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate of an exhaustive verification run."""
+
+    #: Name of the algorithm that was verified.
+    algorithm_name: str
+    #: Per-configuration results, in enumeration order.
+    results: List[ConfigurationResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def total(self) -> int:
+        """Number of initial configurations examined."""
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        """Number of configurations that gathered successfully."""
+        return sum(1 for r in self.results if r.succeeded)
+
+    @property
+    def failures(self) -> List[ConfigurationResult]:
+        """Results that did not gather."""
+        return [r for r in self.results if not r.succeeded]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of configurations that gathered successfully."""
+        return self.successes / self.total if self.total else 0.0
+
+    @property
+    def all_gathered(self) -> bool:
+        """Whether every configuration gathered (the paper's Theorem 2 claim)."""
+        return self.total > 0 and self.successes == self.total
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Histogram of outcomes by name."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.outcome.value] = counts.get(result.outcome.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def max_rounds(self) -> int:
+        """Largest number of rounds over the successful executions (0 if none)."""
+        rounds = [r.rounds for r in self.results if r.succeeded]
+        return max(rounds) if rounds else 0
+
+    def mean_rounds(self) -> float:
+        """Mean number of rounds over the successful executions (0.0 if none)."""
+        rounds = [r.rounds for r in self.results if r.succeeded]
+        return sum(rounds) / len(rounds) if rounds else 0.0
+
+    def max_moves(self) -> int:
+        """Largest total move count over the successful executions (0 if none)."""
+        moves = [r.total_moves for r in self.results if r.succeeded]
+        return max(moves) if moves else 0
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict summary used by the CLI and the benchmarks."""
+        return {
+            "algorithm": self.algorithm_name,
+            "configurations": self.total,
+            "gathered": self.successes,
+            "success_rate": round(self.success_rate, 6),
+            "outcomes": self.outcome_counts(),
+            "max_rounds": self.max_rounds(),
+            "mean_rounds": round(self.mean_rounds(), 3),
+            "max_moves": self.max_moves(),
+        }
+
+
+def verify_configuration(
+    configuration: Configuration,
+    algorithm: GatheringAlgorithm,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> ConfigurationResult:
+    """Run one execution from ``configuration`` and summarise its outcome."""
+    trace = run_execution(
+        configuration,
+        algorithm,
+        max_rounds=max_rounds,
+        record_rounds=False,
+    )
+    return ConfigurationResult(
+        initial_nodes=tuple((c.q, c.r) for c in configuration.sorted_nodes()),
+        outcome=trace.outcome,
+        rounds=trace.num_rounds,
+        total_moves=trace.total_moves,
+        initial_diameter=configuration.diameter(),
+        collision_kind=trace.collision_kind,
+    )
+
+
+def _verify_chunk(args: Tuple[str, List[Tuple[Tuple[int, int], ...]], int]) -> List[ConfigurationResult]:
+    """Worker entry point: verify a chunk of configurations (picklable payload)."""
+    algorithm_name, node_tuples, max_rounds = args
+    algorithm = create_algorithm(algorithm_name)
+    results = []
+    for nodes in node_tuples:
+        results.append(
+            verify_configuration(Configuration(nodes), algorithm, max_rounds=max_rounds)
+        )
+    return results
+
+
+def verify_configurations(
+    configurations: Iterable[Configuration],
+    algorithm: GatheringAlgorithm,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> VerificationReport:
+    """Verify an explicit collection of initial configurations serially."""
+    configs = list(configurations)
+    report = VerificationReport(algorithm_name=algorithm.name)
+    for index, configuration in enumerate(configs):
+        report.results.append(
+            verify_configuration(configuration, algorithm, max_rounds=max_rounds)
+        )
+        if progress is not None:
+            progress(index + 1, len(configs))
+    return report
+
+
+def verify_all_configurations(
+    algorithm: Optional[GatheringAlgorithm] = None,
+    algorithm_name: Optional[str] = None,
+    size: int = 7,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    workers: int = 1,
+    chunk_size: int = 128,
+) -> VerificationReport:
+    """Run the paper's exhaustive verification (experiment E2).
+
+    Exactly one of ``algorithm`` and ``algorithm_name`` must be provided; the
+    named form is required when ``workers > 1`` because algorithm objects are
+    reconstructed inside each worker process from the registry (cheap, and it
+    avoids pickling algorithm instances).
+    """
+    if (algorithm is None) == (algorithm_name is None):
+        raise ValueError("provide exactly one of algorithm / algorithm_name")
+
+    configurations = enumerate_connected_configurations(size)
+
+    if workers <= 1:
+        algo = algorithm if algorithm is not None else create_algorithm(algorithm_name)
+        return verify_configurations(configurations, algo, max_rounds=max_rounds)
+
+    if algorithm_name is None:
+        raise ValueError("parallel verification requires algorithm_name (registry lookup)")
+
+    node_tuples = [tuple((c.q, c.r) for c in cfg.sorted_nodes()) for cfg in configurations]
+    chunks = [
+        (algorithm_name, node_tuples[i : i + chunk_size], max_rounds)
+        for i in range(0, len(node_tuples), chunk_size)
+    ]
+    workers = min(workers, os.cpu_count() or 1, len(chunks))
+    report = VerificationReport(algorithm_name=algorithm_name)
+    with multiprocessing.get_context("spawn").Pool(processes=workers) as pool:
+        for chunk_results in pool.imap(_verify_chunk, chunks):
+            report.results.extend(chunk_results)
+    return report

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro.cli`` or the ``repro-gathering`` script.
+
+Subcommands
+-----------
+``enumerate``
+    Count (and optionally list) the connected initial configurations
+    (experiment E1; 3652 for seven robots).
+``verify``
+    Run the exhaustive verification of an algorithm over every connected
+    initial configuration (experiment E2) and print the summary.
+``trace``
+    Run a single execution from a given or built-in initial configuration and
+    print the ASCII frames (experiment E4).
+``range1``
+    Evaluate the candidate visibility-range-1 rule tables and run the
+    rule-space search (experiment E3).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .algorithms import available_algorithms, create_algorithm
+from .algorithms.range1 import CANDIDATE_TABLES, RuleTableAlgorithm, line_configuration
+from .analysis.impossibility import default_gadget_suite, search_rule_space
+from .analysis.verification import verify_all_configurations, verify_configurations
+from .core.configuration import Configuration, hexagon, line
+from .core.engine import run_execution
+from .enumeration.polyhex import count_connected_configurations
+from .io.serialization import dumps, report_to_dict, trace_to_dict
+from .viz.ascii_art import render_trace
+
+__all__ = ["main", "build_parser"]
+
+_BUILTIN_CONFIGS = {
+    "line-se": lambda: line(7),
+    "line-e": lambda: Configuration([(i, 0) for i in range(7)]),
+    "line-ne": lambda: Configuration([(0, i) for i in range(7)]),
+    "hexagon": hexagon,
+    "figure54": lambda: Configuration([(0, 0), (0, 1), (1, 1), (1, -1), (2, -1), (2, 0), (-1, 1)]),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gathering",
+        description="Gathering of seven autonomous mobile robots on triangular grids "
+        "(reproduction of Shibata et al., 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_enum = sub.add_parser("enumerate", help="count connected initial configurations")
+    p_enum.add_argument("--size", type=int, default=7, help="number of robots (default 7)")
+
+    p_verify = sub.add_parser("verify", help="exhaustive verification (experiment E2)")
+    p_verify.add_argument(
+        "--algorithm",
+        default="shibata-visibility2",
+        choices=available_algorithms(),
+        help="algorithm to verify",
+    )
+    p_verify.add_argument("--size", type=int, default=7)
+    p_verify.add_argument("--max-rounds", type=int, default=1000)
+    p_verify.add_argument("--workers", type=int, default=1)
+    p_verify.add_argument("--json", action="store_true", help="emit the full JSON report")
+
+    p_trace = sub.add_parser("trace", help="trace one execution (experiment E4)")
+    p_trace.add_argument("--algorithm", default="shibata-visibility2", choices=available_algorithms())
+    p_trace.add_argument(
+        "--config",
+        default="figure54",
+        help="built-in configuration name (%s) or a JSON list of [q, r] pairs"
+        % ", ".join(sorted(_BUILTIN_CONFIGS)),
+    )
+    p_trace.add_argument("--max-rounds", type=int, default=200)
+    p_trace.add_argument("--ascii", action="store_true", help="ASCII-only symbols")
+    p_trace.add_argument("--json", action="store_true", help="emit the trace as JSON")
+
+    p_r1 = sub.add_parser("range1", help="visibility-range-1 impossibility (experiment E3)")
+    p_r1.add_argument("--max-nodes", type=int, default=5_000, help="search budget")
+    p_r1.add_argument("--skip-search", action="store_true", help="only evaluate candidate tables")
+
+    return parser
+
+
+def _parse_configuration(spec: str) -> Configuration:
+    if spec in _BUILTIN_CONFIGS:
+        return _BUILTIN_CONFIGS[spec]()
+    try:
+        pairs = json.loads(spec)
+        return Configuration((int(q), int(r)) for q, r in pairs)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"cannot parse configuration {spec!r}: {exc}")
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    count = count_connected_configurations(args.size)
+    print(f"connected configurations of {args.size} robots (up to translation): {count}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = verify_all_configurations(
+        algorithm_name=args.algorithm,
+        size=args.size,
+        max_rounds=args.max_rounds,
+        workers=args.workers,
+    )
+    if args.json:
+        print(dumps(report_to_dict(report)))
+    else:
+        summary = report.summary()
+        for key, value in summary.items():
+            print(f"{key}: {value}")
+    return 0 if report.all_gathered else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    algorithm = create_algorithm(args.algorithm)
+    initial = _parse_configuration(args.config)
+    trace = run_execution(initial, algorithm, max_rounds=args.max_rounds)
+    if args.json:
+        print(dumps(trace_to_dict(trace, include_rounds=True)))
+    else:
+        print(render_trace(trace, unicode_symbols=not args.ascii))
+    return 0 if trace.succeeded else 1
+
+
+def _cmd_range1(args: argparse.Namespace) -> int:
+    print("candidate visibility-range-1 rule tables (Theorem 1 predicts all fail):")
+    for table in CANDIDATE_TABLES:
+        algorithm = RuleTableAlgorithm(table)
+        failures = 0
+        total = 0
+        for config in default_gadget_suite():
+            total += 1
+            trace = run_execution(config, algorithm, max_rounds=500)
+            if not trace.succeeded:
+                failures += 1
+        print(f"  {table.name:>18}: fails on {failures}/{total} gadget configurations")
+    if args.skip_search:
+        return 0
+    result = search_rule_space(max_nodes=args.max_nodes)
+    print(
+        "rule-space search: refuted=%s nodes=%d budget_exhausted=%s"
+        % (result.refuted, result.nodes_explored, result.budget_exhausted)
+    )
+    return 0 if result.refuted else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the console script and ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "enumerate": _cmd_enumerate,
+        "verify": _cmd_verify,
+        "trace": _cmd_trace,
+        "range1": _cmd_range1,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

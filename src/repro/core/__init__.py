@@ -1,0 +1,59 @@
+"""Robot-system core: configurations, views, algorithms, schedulers and the engine."""
+from .algorithm import FunctionAlgorithm, GatheringAlgorithm, Move, StayAlgorithm
+from .configuration import GATHERING_SIZE, Configuration, from_offsets, hexagon, line
+from .engine import (
+    DEFAULT_MAX_ROUNDS,
+    apply_moves,
+    compute_moves,
+    detect_collision,
+    run_execution,
+    step,
+)
+from .errors import (
+    CollisionError,
+    DisconnectionError,
+    InvalidConfigurationError,
+    ReproError,
+    SimulationLimitError,
+)
+from .scheduler import (
+    FullySynchronousScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .trace import ExecutionTrace, Outcome, RoundRecord
+from .view import View, all_views_of, view_of
+
+__all__ = [
+    "GATHERING_SIZE",
+    "DEFAULT_MAX_ROUNDS",
+    "Configuration",
+    "CollisionError",
+    "DisconnectionError",
+    "ExecutionTrace",
+    "FullySynchronousScheduler",
+    "FunctionAlgorithm",
+    "GatheringAlgorithm",
+    "InvalidConfigurationError",
+    "Move",
+    "Outcome",
+    "RandomSubsetScheduler",
+    "ReproError",
+    "RoundRecord",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SimulationLimitError",
+    "StayAlgorithm",
+    "View",
+    "all_views_of",
+    "apply_moves",
+    "compute_moves",
+    "detect_collision",
+    "from_offsets",
+    "hexagon",
+    "line",
+    "run_execution",
+    "step",
+    "view_of",
+]

@@ -1,0 +1,236 @@
+"""The Look–Compute–Move execution engine.
+
+This module simulates executions of a gathering algorithm under a scheduler,
+enforcing the collision rules of Section II-A of the paper:
+
+* **(a)** two robots may not traverse the same edge in opposite directions,
+* **(b)** a robot may not move onto a node whose occupant stays put,
+* **(c)** several robots may not move onto the same node.
+
+Moving onto a node that its occupant vacates in the same round ("following")
+is explicitly allowed, as in the paper.
+
+Executions terminate with one of the :class:`~repro.core.trace.Outcome`
+values.  Under the deterministic FSYNC scheduler, revisiting a configuration
+(up to translation) proves a livelock, and quiescence (no robot wants to move)
+is a permanent fixpoint; the engine uses both facts for exact termination
+detection.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..grid.coords import Coord
+from ..grid.directions import Direction
+from .algorithm import GatheringAlgorithm
+from .configuration import Configuration
+from .errors import CollisionError
+from .scheduler import FullySynchronousScheduler, Scheduler
+from .trace import ExecutionTrace, Outcome, RoundRecord
+from .view import view_of
+
+__all__ = [
+    "compute_moves",
+    "detect_collision",
+    "apply_moves",
+    "step",
+    "run_execution",
+    "DEFAULT_MAX_ROUNDS",
+]
+
+#: Default round budget.  All successful executions over the 3652 connected
+#: initial configurations terminate far below this bound; the budget only
+#: exists to cut off pathological algorithms under non-FSYNC schedulers where
+#: exact livelock detection is not available.
+DEFAULT_MAX_ROUNDS = 1000
+
+
+def compute_moves(
+    configuration: Configuration,
+    algorithm: GatheringAlgorithm,
+    activated: Optional[Set[Coord]] = None,
+) -> Dict[Coord, Direction]:
+    """Compute the moves of all activated robots for one round.
+
+    Returns a mapping ``position -> direction`` containing only the robots
+    that decided to move.  Robots that stay (or are not activated) are simply
+    absent from the mapping.
+    """
+    moves: Dict[Coord, Direction] = {}
+    for position in configuration.sorted_nodes():
+        if activated is not None and position not in activated:
+            continue
+        view = view_of(configuration, position, algorithm.visibility_range)
+        decision = algorithm.compute(view)
+        if decision is not None:
+            moves[position] = decision
+    return moves
+
+
+def detect_collision(
+    configuration: Configuration, moves: Dict[Coord, Direction]
+) -> Optional[Tuple[str, Tuple[Coord, ...]]]:
+    """Check the three forbidden behaviours for a simultaneous move set.
+
+    Returns ``None`` if the move set is collision-free, otherwise a pair
+    ``(kind, nodes)`` where ``kind`` is ``"swap"``, ``"move-onto-staying"`` or
+    ``"same-target"`` and ``nodes`` identifies the offending nodes.
+    """
+    targets: Dict[Coord, Coord] = {
+        source: source.step(direction) for source, direction in moves.items()
+    }
+    # (a) swap along an edge.
+    for source, target in targets.items():
+        reverse = targets.get(target)
+        if reverse is not None and reverse == source:
+            return ("swap", (source, target))
+    # (b) moving onto a node whose occupant stays.
+    for source, target in targets.items():
+        if configuration.occupied(target) and target not in targets:
+            return ("move-onto-staying", (source, target))
+    # (c) several robots moving onto the same node.
+    seen: Dict[Coord, Coord] = {}
+    for source, target in targets.items():
+        if target in seen:
+            return ("same-target", (seen[target], source, target))
+        seen[target] = source
+    return None
+
+
+def apply_moves(
+    configuration: Configuration, moves: Dict[Coord, Direction]
+) -> Configuration:
+    """The configuration after simultaneously applying a collision-free move set."""
+    nodes = set(configuration.nodes)
+    arrivals: List[Coord] = []
+    for source, direction in moves.items():
+        nodes.discard(source)
+        arrivals.append(source.step(direction))
+    nodes.update(arrivals)
+    return Configuration(nodes)
+
+
+def step(
+    configuration: Configuration,
+    algorithm: GatheringAlgorithm,
+    activated: Optional[Set[Coord]] = None,
+    strict: bool = True,
+) -> Tuple[Configuration, Dict[Coord, Direction]]:
+    """Execute one synchronous round and return the next configuration and moves.
+
+    With ``strict=True`` a collision raises :class:`CollisionError`; with
+    ``strict=False`` the caller is expected to have checked for collisions
+    already (used by the verification harness, which wants the structured
+    outcome rather than an exception).
+    """
+    moves = compute_moves(configuration, algorithm, activated)
+    if strict:
+        collision = detect_collision(configuration, moves)
+        if collision is not None:
+            raise CollisionError(collision[0], collision[1])
+    return apply_moves(configuration, moves), moves
+
+
+def run_execution(
+    initial: Configuration,
+    algorithm: GatheringAlgorithm,
+    scheduler: Optional[Scheduler] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    record_rounds: bool = True,
+    require_connectivity: bool = True,
+) -> ExecutionTrace:
+    """Run one full execution and classify its outcome.
+
+    Parameters
+    ----------
+    initial:
+        The initial configuration (the paper requires it to be connected; the
+        engine itself accepts any configuration).
+    algorithm:
+        The gathering algorithm every robot runs.
+    scheduler:
+        Activation scheduler; defaults to FSYNC as in the paper.
+    max_rounds:
+        Hard bound on the number of rounds.
+    record_rounds:
+        If ``False``, per-round records are not kept (the trace still carries
+        counters); this keeps exhaustive verification memory-light.
+    require_connectivity:
+        If ``True``, an execution stops with :attr:`Outcome.DISCONNECTED` as
+        soon as the configuration splits into several components.
+    """
+    scheduler = scheduler or FullySynchronousScheduler()
+    scheduler.reset()
+    is_fsync = isinstance(scheduler, FullySynchronousScheduler)
+
+    configuration = initial
+    rounds: List[RoundRecord] = []
+    seen: Dict[Tuple[Coord, ...], int] = {initial.canonical_key(): 0}
+    outcome = Outcome.ROUND_LIMIT
+    collision_kind: Optional[str] = None
+    cycle_start: Optional[int] = None
+    termination_round = max_rounds
+    total_moves = 0
+
+    for round_index in range(max_rounds):
+        positions = configuration.sorted_nodes()
+        activated = scheduler.activated(round_index, positions)
+        moves = compute_moves(configuration, algorithm, activated)
+
+        if record_rounds:
+            rounds.append(
+                RoundRecord(
+                    index=round_index,
+                    configuration=configuration,
+                    moves=dict(moves),
+                    activated=tuple(sorted(activated)),
+                )
+            )
+
+        if not moves:
+            # Quiescence.  Under FSYNC this is permanent; under SSYNC it is
+            # only permanent when every robot was activated this round.
+            if is_fsync or activated == set(positions):
+                outcome = (
+                    Outcome.GATHERED if configuration.is_gathered() else Outcome.DEADLOCK
+                )
+                termination_round = round_index
+                break
+            continue
+
+        collision = detect_collision(configuration, moves)
+        if collision is not None:
+            outcome = Outcome.COLLISION
+            collision_kind = collision[0]
+            termination_round = round_index
+            break
+
+        configuration = apply_moves(configuration, moves)
+        total_moves += len(moves)
+
+        if require_connectivity and not configuration.is_connected():
+            outcome = Outcome.DISCONNECTED
+            termination_round = round_index + 1
+            break
+
+        if is_fsync:
+            key = configuration.canonical_key()
+            if key in seen:
+                outcome = Outcome.LIVELOCK
+                cycle_start = seen[key]
+                termination_round = round_index + 1
+                break
+            seen[key] = round_index + 1
+
+    return ExecutionTrace(
+        initial=initial,
+        final=configuration,
+        outcome=outcome,
+        rounds=rounds,
+        termination_round=termination_round,
+        collision_kind=collision_kind,
+        cycle_start=cycle_start,
+        algorithm_name=algorithm.name,
+        scheduler_name=scheduler.name,
+        total_moves=total_moves,
+    )

@@ -1,0 +1,121 @@
+"""Execution traces and outcomes.
+
+A trace records everything that happened during one execution: the sequence
+of configurations, the per-round moves, the outcome (gathered, deadlock,
+livelock, collision, disconnection or round-budget exhaustion) and summary
+counters used by the analysis and benchmark modules.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..grid.coords import Coord
+from ..grid.directions import Direction
+from .configuration import Configuration
+
+__all__ = ["Outcome", "RoundRecord", "ExecutionTrace"]
+
+
+class Outcome(enum.Enum):
+    """Terminal status of an execution."""
+
+    #: The robots reached a gathered configuration and no robot moves afterwards.
+    GATHERED = "gathered"
+    #: No robot moves, but the configuration is not gathered.
+    DEADLOCK = "deadlock"
+    #: The execution revisited a configuration (up to translation): it cycles forever.
+    LIVELOCK = "livelock"
+    #: One of the three forbidden behaviours of Section II-A occurred.
+    COLLISION = "collision"
+    #: The configuration became disconnected.
+    DISCONNECTED = "disconnected"
+    #: The round budget was exhausted before any other outcome was detected.
+    ROUND_LIMIT = "round-limit"
+
+    @property
+    def is_success(self) -> bool:
+        """Whether this outcome counts as solving the gathering problem."""
+        return self is Outcome.GATHERED
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened during a single round (one synchronous Look–Compute–Move)."""
+
+    #: Zero-based round index.
+    index: int
+    #: Configuration at the beginning of the round.
+    configuration: Configuration
+    #: Moves decided by the activated robots: position -> direction (stays omitted).
+    moves: Dict[Coord, Direction]
+    #: Robots activated by the scheduler this round.
+    activated: Tuple[Coord, ...]
+
+    @property
+    def moved_count(self) -> int:
+        """Number of robots that actually moved this round."""
+        return len(self.moves)
+
+    @property
+    def is_quiescent(self) -> bool:
+        """Whether no activated robot decided to move."""
+        return not self.moves
+
+
+@dataclass
+class ExecutionTrace:
+    """Full record of one execution."""
+
+    #: The initial configuration.
+    initial: Configuration
+    #: The terminal configuration (last one reached).
+    final: Configuration
+    #: Outcome of the execution.
+    outcome: Outcome
+    #: Per-round records, in order.  The terminal configuration is ``final``.
+    rounds: List[RoundRecord] = field(default_factory=list)
+    #: Round at which the outcome was detected (== len(rounds) for quiescence).
+    termination_round: int = 0
+    #: For collisions: which of the three forbidden behaviours occurred.
+    collision_kind: Optional[str] = None
+    #: For livelocks: index of the earlier round whose configuration reappeared.
+    cycle_start: Optional[int] = None
+    #: Name of the algorithm that produced the trace.
+    algorithm_name: str = ""
+    #: Name of the scheduler used.
+    scheduler_name: str = ""
+    #: Total number of robot moves over the whole execution (kept as an explicit
+    #: counter so it survives even when per-round records are not retained).
+    total_moves: int = 0
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds executed before termination."""
+        return self.termination_round
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the execution solved the gathering problem."""
+        return self.outcome.is_success
+
+    def configurations(self) -> List[Configuration]:
+        """All configurations visited, starting with the initial one."""
+        configs = [record.configuration for record in self.rounds]
+        configs.append(self.final)
+        return configs
+
+    def summary(self) -> Dict[str, object]:
+        """A plain-dict summary convenient for tabulation and JSON output."""
+        return {
+            "outcome": self.outcome.value,
+            "rounds": self.num_rounds,
+            "total_moves": self.total_moves,
+            "initial_diameter": self.initial.diameter(),
+            "final_diameter": self.final.diameter(),
+            "algorithm": self.algorithm_name,
+            "scheduler": self.scheduler_name,
+            "collision_kind": self.collision_kind,
+            "cycle_start": self.cycle_start,
+        }

@@ -1,0 +1,175 @@
+"""Robot views: what a robot observes during its Look phase.
+
+The paper (Section II-A) defines the view of a robot as the set of robot
+nodes within its visibility range, expressed relative to the robot's own
+position (robots do not know global coordinates, only the shared compass).
+Robots are transparent, so a robot behind another robot on the same axis is
+still visible.
+
+A :class:`View` therefore stores relative offsets of the occupied nodes
+within the range, along with the range itself.  The algorithm modules query
+views either by axial offset, by direction, or by the paper's Fig. 48 labels.
+"""
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..grid.coords import Coord, as_coord, disk, distance
+from ..grid.directions import DIRECTIONS, Direction
+from ..grid.labels import (
+    Label,
+    label_of_offset,
+    offset_of_label,
+)
+
+__all__ = ["View", "view_of", "all_views_of"]
+
+
+class View:
+    """The local observation of one robot.
+
+    Parameters
+    ----------
+    occupied_offsets:
+        Relative positions (axial offsets from the observing robot) of all
+        robot nodes within the visibility range, *excluding* the robot's own
+        node (which is always occupied).
+    visibility_range:
+        The visibility range of the robot (1 or 2 in the paper).
+    """
+
+    __slots__ = ("_offsets", "_range", "_labels")
+
+    def __init__(self, occupied_offsets: Iterable[Tuple[int, int]], visibility_range: int) -> None:
+        offsets = frozenset(as_coord(o) for o in occupied_offsets if tuple(o) != (0, 0))
+        for off in offsets:
+            if distance((0, 0), off) > visibility_range:
+                raise ValueError(
+                    f"offset {off} lies outside visibility range {visibility_range}"
+                )
+        self._offsets: FrozenSet[Coord] = offsets
+        self._range = int(visibility_range)
+        self._labels: FrozenSet[Label] = frozenset(label_of_offset(o) for o in offsets)
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def visibility_range(self) -> int:
+        """The visibility range this view was taken with."""
+        return self._range
+
+    @property
+    def occupied_offsets(self) -> FrozenSet[Coord]:
+        """Relative positions of visible robot nodes (excluding the robot itself)."""
+        return self._offsets
+
+    @property
+    def occupied_labels(self) -> FrozenSet[Label]:
+        """Fig. 48 labels of visible robot nodes (excluding the robot itself)."""
+        return self._labels
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, View):
+            return self._offsets == other._offsets and self._range == other._range
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._offsets, self._range))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        labels = ", ".join(str(l) for l in sorted(self._labels))
+        return f"View(range={self._range}, robots=[{labels}])"
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    # ---------------------------------------------------------------- queries
+    def occupied(self, offset: Tuple[int, int]) -> bool:
+        """Whether the node at the given axial ``offset`` holds a robot.
+
+        The robot's own node (offset ``(0, 0)``) is always occupied.
+        """
+        if tuple(offset) == (0, 0):
+            return True
+        return as_coord(offset) in self._offsets
+
+    def occupied_label(self, label: Label) -> bool:
+        """Whether the node with the given Fig. 48 ``label`` holds a robot."""
+        if tuple(label) == (0, 0):
+            return True
+        return tuple(label) in self._labels
+
+    def empty_label(self, label: Label) -> bool:
+        """Whether the node with the given Fig. 48 ``label`` is an empty node."""
+        return not self.occupied_label(label)
+
+    def occupied_direction(self, direction: Direction) -> bool:
+        """Whether the adjacent node in ``direction`` holds a robot."""
+        return as_coord(direction.value) in self._offsets
+
+    def adjacent_robot_directions(self) -> List[Direction]:
+        """Directions of adjacent robot nodes, in canonical order."""
+        return [d for d in DIRECTIONS if self.occupied_direction(d)]
+
+    def adjacent_degree(self) -> int:
+        """Number of adjacent robot nodes (the robot's degree)."""
+        return sum(1 for d in DIRECTIONS if self.occupied_direction(d))
+
+    def robots_at_distance(self, dist: int) -> List[Coord]:
+        """Visible robot offsets at exactly ``dist`` from the robot."""
+        return sorted(o for o in self._offsets if distance((0, 0), o) == dist)
+
+    def max_x_element(self) -> int:
+        """Largest x-element among visible robot nodes *including* the robot itself."""
+        best = 0  # the robot's own label (0, 0)
+        for label in self._labels:
+            if label[0] > best:
+                best = label[0]
+        return best
+
+    def labels_with_max_x(self) -> List[Label]:
+        """Visible robot labels (including ``(0, 0)``) with the largest x-element."""
+        best = self.max_x_element()
+        result = [label for label in self._labels if label[0] == best]
+        if best == 0:
+            result.append((0, 0))
+        return sorted(result)
+
+    def restricted(self, visibility_range: int) -> "View":
+        """This view truncated to a smaller visibility range."""
+        if visibility_range > self._range:
+            raise ValueError("cannot enlarge a view; re-observe the configuration")
+        kept = [o for o in self._offsets if distance((0, 0), o) <= visibility_range]
+        return View(kept, visibility_range)
+
+
+def view_of(configuration, position: Tuple[int, int], visibility_range: int) -> View:
+    """Compute the view of the robot standing at ``position``.
+
+    Parameters
+    ----------
+    configuration:
+        A :class:`~repro.core.configuration.Configuration` (or any object with
+        ``occupied``) describing the robot nodes.
+    position:
+        The robot's own node; it must be occupied.
+    visibility_range:
+        How far the robot can see (1 or 2 in the paper).
+    """
+    pos = as_coord(position)
+    if not configuration.occupied(pos):
+        raise ValueError(f"no robot at {pos}")
+    offsets = []
+    for node in disk(pos, visibility_range):
+        if node == pos:
+            continue
+        if configuration.occupied(node):
+            offsets.append(Coord(node.q - pos.q, node.r - pos.r))
+    return View(offsets, visibility_range)
+
+
+def all_views_of(configuration, visibility_range: int) -> List[Tuple[Coord, View]]:
+    """The views of every robot of a configuration, keyed by robot position."""
+    return [
+        (pos, view_of(configuration, pos, visibility_range))
+        for pos in configuration.sorted_nodes()
+    ]

@@ -1,0 +1,20 @@
+"""Enumeration of connected robot configurations (fixed polyhexes)."""
+from .polyhex import (
+    FIXED_POLYHEX_COUNTS,
+    FREE_POLYHEX_COUNTS,
+    count_connected_configurations,
+    count_free_configurations,
+    enumerate_canonical_node_sets,
+    enumerate_connected_configurations,
+    iter_connected_configurations,
+)
+
+__all__ = [
+    "FIXED_POLYHEX_COUNTS",
+    "FREE_POLYHEX_COUNTS",
+    "count_connected_configurations",
+    "count_free_configurations",
+    "enumerate_canonical_node_sets",
+    "enumerate_connected_configurations",
+    "iter_connected_configurations",
+]

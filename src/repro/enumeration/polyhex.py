@@ -1,0 +1,125 @@
+"""Exhaustive enumeration of connected robot configurations.
+
+Section IV-B of the paper validates the visibility-2 algorithm by simulating
+it "from all possible connected initial configurations (3652 patterns in
+total)".  A connected configuration of seven robots, counted up to
+translation only (robots agree on the compass, so rotated or reflected
+configurations are genuinely different inputs), is exactly a *fixed polyhex*
+with seven cells: the triangular-grid nodes are the cells of the hexagonal
+tiling and grid adjacency is cell adjacency.  The number of fixed polyhexes
+(OEIS A001207) is
+
+====  =======
+n     count
+====  =======
+1     1
+2     3
+3     11
+4     44
+5     186
+6     814
+7     3652
+====  =======
+
+so the paper's 3652 is recovered exactly by this enumeration.
+
+The enumeration proceeds level by level: every connected ``n``-node set is a
+connected ``(n-1)``-node set plus one adjacent node, so we grow all sets of
+size ``n`` from the canonical sets of size ``n - 1`` and deduplicate by the
+translation-canonical form.  For ``n = 7`` this takes well under a second.
+"""
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from ..core.configuration import Configuration
+from ..grid.coords import Coord, neighbors
+from ..grid.symmetry import canonical_translation, canonical_up_to_symmetry
+
+__all__ = [
+    "FIXED_POLYHEX_COUNTS",
+    "FREE_POLYHEX_COUNTS",
+    "enumerate_canonical_node_sets",
+    "enumerate_connected_configurations",
+    "count_connected_configurations",
+    "count_free_configurations",
+    "iter_connected_configurations",
+]
+
+#: Known counts of connected n-node configurations up to translation
+#: (fixed polyhexes, OEIS A001207).  Used by the tests and the E1 benchmark.
+FIXED_POLYHEX_COUNTS: Dict[int, int] = {
+    1: 1,
+    2: 3,
+    3: 11,
+    4: 44,
+    5: 186,
+    6: 814,
+    7: 3652,
+    8: 16689,
+}
+
+#: Known counts of connected n-node configurations up to translation, rotation
+#: and reflection (free polyhexes, OEIS A000228).  Used only by the analysis
+#: modules for grouping into symmetry classes.
+FREE_POLYHEX_COUNTS: Dict[int, int] = {
+    1: 1,
+    2: 1,
+    3: 3,
+    4: 7,
+    5: 22,
+    6: 82,
+    7: 333,
+}
+
+
+def enumerate_canonical_node_sets(size: int) -> List[Tuple[Coord, ...]]:
+    """All connected node sets of ``size`` nodes, canonical up to translation.
+
+    The result is a sorted list of canonical keys (sorted coordinate tuples
+    whose lexicographically smallest node is the origin), suitable both for
+    building :class:`Configuration` objects and for hashing.
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    current: Set[Tuple[Coord, ...]] = {canonical_translation([Coord(0, 0)])}
+    for _ in range(size - 1):
+        grown: Set[Tuple[Coord, ...]] = set()
+        for shape in current:
+            shape_set = set(shape)
+            candidates: Set[Coord] = set()
+            for node in shape:
+                for nb in neighbors(node):
+                    if nb not in shape_set:
+                        candidates.add(nb)
+            for candidate in candidates:
+                grown.add(canonical_translation(shape_set | {candidate}))
+        current = grown
+    return sorted(current)
+
+
+def enumerate_connected_configurations(size: int = 7) -> List[Configuration]:
+    """All connected configurations of ``size`` robots up to translation.
+
+    For ``size = 7`` this returns the 3652 initial configurations of the
+    paper's exhaustive simulation, each anchored so that its lexicographically
+    smallest robot node is the origin.
+    """
+    return [Configuration(shape) for shape in enumerate_canonical_node_sets(size)]
+
+
+def iter_connected_configurations(size: int = 7) -> Iterator[Configuration]:
+    """Iterate over the connected configurations of ``size`` robots lazily."""
+    for shape in enumerate_canonical_node_sets(size):
+        yield Configuration(shape)
+
+
+def count_connected_configurations(size: int) -> int:
+    """Number of connected configurations of ``size`` robots up to translation."""
+    return len(enumerate_canonical_node_sets(size))
+
+
+def count_free_configurations(size: int) -> int:
+    """Number of connected configurations up to translation, rotation and reflection."""
+    shapes = enumerate_canonical_node_sets(size)
+    return len({canonical_up_to_symmetry(shape) for shape in shapes})

@@ -1,0 +1,195 @@
+"""Axial coordinates on the infinite triangular grid.
+
+Every node of the paper's triangular grid (Section II-A) is addressed with an
+axial coordinate pair ``(q, r)``.  Moving east increases ``q`` by one, moving
+northeast increases ``r`` by one; the remaining four directions follow from
+the vectors in :mod:`repro.grid.directions`.  The graph distance between two
+nodes is the standard hexagonal-lattice distance
+
+``dist((q1, r1), (q2, r2)) = (|dq| + |dr| + |dq + dr|) / 2``
+
+with ``dq = q2 - q1`` and ``dr = r2 - r1``, which equals the length of the
+shortest path in the grid graph.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Sequence, Tuple, Union
+
+from .directions import DIRECTIONS, Direction
+
+__all__ = [
+    "Coord",
+    "ORIGIN",
+    "as_coord",
+    "add",
+    "sub",
+    "neighbor",
+    "neighbors",
+    "distance",
+    "ring",
+    "disk",
+    "translate",
+    "bounding_box",
+    "centroid_shift",
+]
+
+CoordLike = Union["Coord", Tuple[int, int]]
+
+
+class Coord(NamedTuple):
+    """A node of the triangular grid in axial coordinates.
+
+    ``Coord`` is a :class:`~typing.NamedTuple`, hence immutable, hashable and
+    directly usable wherever a plain ``(q, r)`` tuple is expected.
+    """
+
+    q: int
+    r: int
+
+    def __add__(self, other: CoordLike) -> "Coord":  # type: ignore[override]
+        return Coord(self.q + other[0], self.r + other[1])
+
+    def __sub__(self, other: CoordLike) -> "Coord":
+        return Coord(self.q - other[0], self.r - other[1])
+
+    def __neg__(self) -> "Coord":
+        return Coord(-self.q, -self.r)
+
+    def step(self, direction: Direction) -> "Coord":
+        """The adjacent node in ``direction``."""
+        dq, dr = direction.value
+        return Coord(self.q + dq, self.r + dr)
+
+    def neighbors(self) -> List["Coord"]:
+        """The six adjacent nodes, in canonical direction order."""
+        return [self.step(d) for d in DIRECTIONS]
+
+    def distance_to(self, other: CoordLike) -> int:
+        """Graph distance to ``other``."""
+        return distance(self, other)
+
+
+#: The distinguished origin node ``v_o`` of the paper.
+ORIGIN = Coord(0, 0)
+
+
+def as_coord(value: CoordLike) -> Coord:
+    """Coerce a ``(q, r)`` pair into a :class:`Coord`."""
+    if isinstance(value, Coord):
+        return value
+    q, r = value
+    return Coord(int(q), int(r))
+
+
+def add(a: CoordLike, b: CoordLike) -> Coord:
+    """Component-wise sum of two coordinates (treating ``b`` as a displacement)."""
+    return Coord(a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: CoordLike, b: CoordLike) -> Coord:
+    """Displacement from ``b`` to ``a``."""
+    return Coord(a[0] - b[0], a[1] - b[1])
+
+
+def neighbor(node: CoordLike, direction: Direction) -> Coord:
+    """The node adjacent to ``node`` in ``direction``."""
+    dq, dr = direction.value
+    return Coord(node[0] + dq, node[1] + dr)
+
+
+def neighbors(node: CoordLike) -> List[Coord]:
+    """The six nodes adjacent to ``node`` in canonical direction order."""
+    q, r = node[0], node[1]
+    return [Coord(q + d.value[0], r + d.value[1]) for d in DIRECTIONS]
+
+
+def distance(a: CoordLike, b: CoordLike) -> int:
+    """Graph distance (shortest-path length) between two nodes."""
+    dq = b[0] - a[0]
+    dr = b[1] - a[1]
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+def ring(center: CoordLike, radius: int) -> List[Coord]:
+    """All nodes at exactly ``radius`` from ``center``.
+
+    ``radius = 0`` returns just the centre.  For ``radius >= 1`` the ring has
+    ``6 * radius`` nodes, returned in a deterministic counter-clockwise walk.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return [as_coord(center)]
+    results: List[Coord] = []
+    # Start radius steps to the west and walk the ring counter-clockwise.
+    node = as_coord(center)
+    for _ in range(radius):
+        node = node.step(Direction.W)
+    walk = (
+        Direction.SE,
+        Direction.E,
+        Direction.NE,
+        Direction.NW,
+        Direction.W,
+        Direction.SW,
+    )
+    for direction in walk:
+        for _ in range(radius):
+            results.append(node)
+            node = node.step(direction)
+    return results
+
+
+def disk(center: CoordLike, radius: int) -> List[Coord]:
+    """All nodes within graph distance ``radius`` of ``center`` (inclusive)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    results: List[Coord] = []
+    for rad in range(radius + 1):
+        results.extend(ring(center, rad))
+    return results
+
+
+def translate(nodes: Iterable[CoordLike], offset: CoordLike) -> List[Coord]:
+    """Translate every node by ``offset``."""
+    dq, dr = offset[0], offset[1]
+    return [Coord(n[0] + dq, n[1] + dr) for n in nodes]
+
+
+def bounding_box(nodes: Sequence[CoordLike]) -> Tuple[int, int, int, int]:
+    """Return ``(min_q, min_r, max_q, max_r)`` over ``nodes``.
+
+    Raises
+    ------
+    ValueError
+        If ``nodes`` is empty.
+    """
+    if not nodes:
+        raise ValueError("bounding_box of an empty node set is undefined")
+    qs = [n[0] for n in nodes]
+    rs = [n[1] for n in nodes]
+    return min(qs), min(rs), max(qs), max(rs)
+
+
+def centroid_shift(nodes: Sequence[CoordLike]) -> Coord:
+    """The translation that maps the lexicographically smallest node to the origin.
+
+    This is the canonical translation used to compare configurations up to
+    translation: it is invariant because it only depends on the node set.
+    """
+    if not nodes:
+        raise ValueError("centroid_shift of an empty node set is undefined")
+    anchor = min((n[0], n[1]) for n in nodes)
+    return Coord(-anchor[0], -anchor[1])
+
+
+def iter_path(start: CoordLike, moves: Iterable[Direction]) -> Iterator[Coord]:
+    """Yield the nodes visited when starting at ``start`` and following ``moves``.
+
+    The start node itself is yielded first.
+    """
+    node = as_coord(start)
+    yield node
+    for direction in moves:
+        node = node.step(direction)
+        yield node

@@ -1,0 +1,127 @@
+"""The six move directions of the triangular grid.
+
+The paper (Section II-A) names the six neighbours of every node east (E),
+northeast (NE), northwest (NW), west (W), southwest (SW) and southeast (SE),
+and assumes all robots agree on the direction and orientation of the x-axis
+and on chirality.  This module fixes that shared compass once and for all.
+
+Internally the grid is addressed with axial coordinates ``(q, r)``:
+
+* ``E  = (+1,  0)``
+* ``NE = ( 0, +1)``
+* ``NW = (-1, +1)``
+* ``W  = (-1,  0)``
+* ``SW = ( 0, -1)``
+* ``SE = (+1, -1)``
+
+With this choice the x-axis of the paper runs through ``E``/``W`` and the
+y-axis through ``NE``/``SW``, matching Fig. 2 of the paper.
+"""
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Tuple
+
+__all__ = [
+    "Direction",
+    "DIRECTIONS",
+    "DIRECTION_VECTORS",
+    "OPPOSITE",
+    "direction_from_vector",
+]
+
+
+class Direction(enum.Enum):
+    """One of the six unit moves on the triangular grid.
+
+    The enum value is the axial displacement ``(dq, dr)`` of the move.
+    Iteration order is counter-clockwise starting from east, which matches the
+    chirality agreed upon by the robots.
+    """
+
+    E = (1, 0)
+    NE = (0, 1)
+    NW = (-1, 1)
+    W = (-1, 0)
+    SW = (0, -1)
+    SE = (1, -1)
+
+    @property
+    def vector(self) -> Tuple[int, int]:
+        """Axial displacement ``(dq, dr)`` of this direction."""
+        return self.value
+
+    @property
+    def dq(self) -> int:
+        """Axial ``q`` component of the displacement."""
+        return self.value[0]
+
+    @property
+    def dr(self) -> int:
+        """Axial ``r`` component of the displacement."""
+        return self.value[1]
+
+    @property
+    def opposite(self) -> "Direction":
+        """The direction pointing the other way (E <-> W, NE <-> SW, ...)."""
+        return OPPOSITE[self]
+
+    def rotate_ccw(self, steps: int = 1) -> "Direction":
+        """Rotate the direction counter-clockwise by ``steps`` sixths of a turn."""
+        order = _CCW_ORDER
+        idx = (order.index(self) + steps) % 6
+        return order[idx]
+
+    def rotate_cw(self, steps: int = 1) -> "Direction":
+        """Rotate the direction clockwise by ``steps`` sixths of a turn."""
+        return self.rotate_ccw(-steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Direction.{self.name}"
+
+
+#: All six directions in counter-clockwise order starting from east.
+DIRECTIONS: Tuple[Direction, ...] = (
+    Direction.E,
+    Direction.NE,
+    Direction.NW,
+    Direction.W,
+    Direction.SW,
+    Direction.SE,
+)
+
+_CCW_ORDER = DIRECTIONS
+
+#: Mapping from direction to its axial displacement vector.
+DIRECTION_VECTORS = {d: d.value for d in Direction}
+
+#: Mapping from direction to the opposite direction.
+OPPOSITE = {
+    Direction.E: Direction.W,
+    Direction.W: Direction.E,
+    Direction.NE: Direction.SW,
+    Direction.SW: Direction.NE,
+    Direction.NW: Direction.SE,
+    Direction.SE: Direction.NW,
+}
+
+_VECTOR_TO_DIRECTION = {d.value: d for d in Direction}
+
+
+def direction_from_vector(vector: Tuple[int, int]) -> Direction:
+    """Return the :class:`Direction` whose displacement equals ``vector``.
+
+    Raises
+    ------
+    ValueError
+        If ``vector`` is not one of the six unit displacements.
+    """
+    try:
+        return _VECTOR_TO_DIRECTION[tuple(vector)]
+    except KeyError:
+        raise ValueError(f"{vector!r} is not a unit triangular-grid displacement") from None
+
+
+def iter_directions() -> Iterator[Direction]:
+    """Iterate over the six directions in canonical (counter-clockwise) order."""
+    return iter(DIRECTIONS)

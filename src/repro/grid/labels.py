@@ -1,0 +1,133 @@
+"""The node-label coordinate system of the paper (Fig. 48).
+
+The visibility-range-2 algorithm of Section IV describes every node within a
+robot's view by a *label* ``(x-element, y-element)``.  Labels are the doubled
+coordinates of the triangular grid: a node reached from the robot by the axial
+displacement ``(dq, dr)`` receives the label
+
+``label(dq, dr) = (2 * dq + dr, dr)``.
+
+With this convention the six adjacent nodes get the labels of Fig. 48:
+
+====  ===========
+node  label
+====  ===========
+E     ``( 2,  0)``
+NE    ``( 1,  1)``
+NW    ``(-1,  1)``
+W     ``(-2,  0)``
+SW    ``(-1, -1)``
+SE    ``( 1, -1)``
+====  ===========
+
+and the twelve nodes at distance two get ``(±4, 0)``, ``(±3, ±1)``,
+``(±2, ±2)``, ``(0, ±2)``.  The first element is the *x-element* used by the
+algorithm to pick the rightmost (base) robot node; ties in the x-element are
+resolved as described in Section IV-A.
+
+Note (footnote 2 of the paper): labels are *not* graph distances — the label
+``(2, 0)`` is the east neighbour at distance one.
+"""
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .coords import Coord, disk
+from .directions import Direction
+
+__all__ = [
+    "Label",
+    "label_of_offset",
+    "offset_of_label",
+    "label_of_direction",
+    "direction_of_label",
+    "x_element",
+    "y_element",
+    "VISIBILITY_2_LABELS",
+    "VISIBILITY_1_LABELS",
+    "ADJACENT_LABELS",
+    "mirror_label",
+]
+
+#: A label is a pair ``(x_element, y_element)``.
+Label = Tuple[int, int]
+
+
+def label_of_offset(offset: Tuple[int, int]) -> Label:
+    """Label of the node at axial displacement ``offset`` from the robot."""
+    dq, dr = offset[0], offset[1]
+    return (2 * dq + dr, dr)
+
+
+def offset_of_label(label: Label) -> Coord:
+    """Axial displacement corresponding to ``label``.
+
+    Raises
+    ------
+    ValueError
+        If the label does not correspond to a lattice node (the x- and
+        y-elements must have the same parity).
+    """
+    x, y = label
+    if (x - y) % 2 != 0:
+        raise ValueError(f"label {label!r} does not address a lattice node")
+    return Coord((x - y) // 2, y)
+
+
+def label_of_direction(direction: Direction) -> Label:
+    """Label of the adjacent node in ``direction``."""
+    return label_of_offset(direction.value)
+
+
+_LABEL_TO_DIRECTION: Dict[Label, Direction] = {
+    label_of_direction(d): d for d in Direction
+}
+
+
+def direction_of_label(label: Label) -> Direction:
+    """The direction whose adjacent node carries ``label``.
+
+    Raises
+    ------
+    ValueError
+        If ``label`` is not one of the six adjacent labels.
+    """
+    try:
+        return _LABEL_TO_DIRECTION[tuple(label)]
+    except KeyError:
+        raise ValueError(f"label {label!r} is not adjacent to the robot") from None
+
+
+def x_element(label: Label) -> int:
+    """The x-element (first component) of a label."""
+    return label[0]
+
+
+def y_element(label: Label) -> int:
+    """The y-element (second component) of a label."""
+    return label[1]
+
+
+def mirror_label(label: Label) -> Label:
+    """Mirror a label across the x-axis (swap NE/SE, NW/SW).
+
+    Algorithm 1 is symmetric under this mirroring for most of its rules; the
+    tests use :func:`mirror_label` to check that symmetry explicitly.
+    """
+    return (label[0], -label[1])
+
+
+def _labels_within(radius: int) -> FrozenSet[Label]:
+    return frozenset(
+        label_of_offset(node) for node in disk((0, 0), radius) if node != (0, 0)
+    )
+
+
+#: Labels of the six nodes visible with visibility range 1 (excluding the robot).
+VISIBILITY_1_LABELS: FrozenSet[Label] = _labels_within(1)
+
+#: Labels of the eighteen nodes visible with visibility range 2 (excluding the robot).
+VISIBILITY_2_LABELS: FrozenSet[Label] = _labels_within(2)
+
+#: Labels of the six adjacent nodes, in canonical direction order.
+ADJACENT_LABELS: List[Label] = [label_of_direction(d) for d in Direction]

@@ -1,0 +1,18 @@
+"""Serialization helpers (JSON)."""
+from .serialization import (
+    configuration_from_dict,
+    configuration_to_dict,
+    dumps,
+    loads_configuration,
+    report_to_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "configuration_from_dict",
+    "configuration_to_dict",
+    "dumps",
+    "loads_configuration",
+    "report_to_dict",
+    "trace_to_dict",
+]

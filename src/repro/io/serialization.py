@@ -1,0 +1,83 @@
+"""JSON round-tripping of configurations, traces and verification reports.
+
+The benchmark harness and the CLI use these helpers to persist results; the
+format is deliberately plain (lists and dicts only) so downstream tooling can
+consume it without importing this package.
+"""
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.configuration import Configuration
+from ..core.trace import ExecutionTrace, Outcome
+from ..analysis.verification import ConfigurationResult, VerificationReport
+
+__all__ = [
+    "configuration_to_dict",
+    "configuration_from_dict",
+    "trace_to_dict",
+    "report_to_dict",
+    "dumps",
+    "loads_configuration",
+]
+
+
+def configuration_to_dict(configuration: Configuration) -> Dict[str, Any]:
+    """Plain-dict form of a configuration."""
+    return {"nodes": [[c.q, c.r] for c in configuration.sorted_nodes()]}
+
+
+def configuration_from_dict(data: Dict[str, Any]) -> Configuration:
+    """Rebuild a configuration from :func:`configuration_to_dict` output."""
+    return Configuration((int(q), int(r)) for q, r in data["nodes"])
+
+
+def trace_to_dict(trace: ExecutionTrace, include_rounds: bool = False) -> Dict[str, Any]:
+    """Plain-dict form of an execution trace (summary by default)."""
+    payload: Dict[str, Any] = {
+        "initial": configuration_to_dict(trace.initial),
+        "final": configuration_to_dict(trace.final),
+        "outcome": trace.outcome.value,
+        "rounds": trace.num_rounds,
+        "total_moves": trace.total_moves,
+        "algorithm": trace.algorithm_name,
+        "scheduler": trace.scheduler_name,
+        "collision_kind": trace.collision_kind,
+        "cycle_start": trace.cycle_start,
+    }
+    if include_rounds:
+        payload["round_records"] = [
+            {
+                "index": record.index,
+                "configuration": configuration_to_dict(record.configuration),
+                "moves": {f"{pos.q},{pos.r}": direction.name for pos, direction in record.moves.items()},
+            }
+            for record in trace.rounds
+        ]
+    return payload
+
+
+def report_to_dict(report: VerificationReport, include_failures: bool = True) -> Dict[str, Any]:
+    """Plain-dict form of a verification report."""
+    payload: Dict[str, Any] = dict(report.summary())
+    if include_failures:
+        payload["failures"] = [
+            {
+                "nodes": list(map(list, result.initial_nodes)),
+                "outcome": result.outcome.value,
+                "rounds": result.rounds,
+            }
+            for result in report.failures
+        ]
+    return payload
+
+
+def dumps(payload: Any, indent: int = 2) -> str:
+    """JSON-encode any of the plain-dict payloads produced by this module."""
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def loads_configuration(text: str) -> Configuration:
+    """Parse a configuration from its JSON form."""
+    return configuration_from_dict(json.loads(text))

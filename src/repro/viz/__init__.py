@@ -1,0 +1,4 @@
+"""ASCII visualisation of configurations and executions."""
+from .ascii_art import render_configuration, render_side_by_side, render_trace
+
+__all__ = ["render_configuration", "render_side_by_side", "render_trace"]

@@ -1,0 +1,109 @@
+"""ASCII rendering of configurations and executions.
+
+The triangular grid is drawn with the usual offset layout: rows of the grid
+(constant ``r``) are printed top-to-bottom with decreasing ``r`` and each row
+is shifted half a character cell per unit of ``r``, so the six neighbours of a
+node appear visually adjacent.  Robot nodes are drawn as ``●`` (or ``R`` in
+ASCII-only mode), empty grid nodes as ``·``.
+
+The renderer is used by the examples (e.g. the Fig. 54 execution trace) and by
+debugging sessions; it has no third-party dependencies.
+"""
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.configuration import Configuration
+from ..core.trace import ExecutionTrace
+
+__all__ = ["render_configuration", "render_trace", "render_side_by_side"]
+
+
+def render_configuration(
+    configuration: Configuration,
+    margin: int = 1,
+    unicode_symbols: bool = True,
+    highlight: Optional[Iterable[Tuple[int, int]]] = None,
+) -> str:
+    """Render a configuration as a multi-line string.
+
+    Parameters
+    ----------
+    configuration:
+        The robot configuration to draw.
+    margin:
+        Number of empty grid rows/columns drawn around the bounding box.
+    unicode_symbols:
+        Draw robots as ``●`` and empty nodes as ``·``; with ``False`` use
+        ``R`` and ``.``.
+    highlight:
+        Optional nodes drawn with a distinct marker (``◎`` / ``*``), e.g. the
+        gathering centre.
+    """
+    robot_char = "●" if unicode_symbols else "R"
+    empty_char = "·" if unicode_symbols else "."
+    highlight_char = "◎" if unicode_symbols else "*"
+    highlighted = {tuple(h) for h in (highlight or [])}
+
+    nodes = configuration.sorted_nodes()
+    if not nodes:
+        return "(empty configuration)"
+    qs = [c.q for c in nodes]
+    rs = [c.r for c in nodes]
+    q_min, q_max = min(qs) - margin, max(qs) + margin
+    r_min, r_max = min(rs) - margin, max(rs) + margin
+
+    lines: List[str] = []
+    for r in range(r_max, r_min - 1, -1):
+        # Shift each row so that the axial geometry reads correctly: going
+        # north-east (r + 1) moves half a cell to the right on screen.
+        indent = " " * (r - r_min)
+        cells = []
+        for q in range(q_min, q_max + 1):
+            if (q, r) in highlighted:
+                cells.append(highlight_char)
+            elif configuration.occupied((q, r)):
+                cells.append(robot_char)
+            else:
+                cells.append(empty_char)
+        lines.append(indent + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_trace(
+    trace: ExecutionTrace,
+    max_frames: int = 12,
+    unicode_symbols: bool = True,
+) -> str:
+    """Render an execution as a sequence of frames (initial, moves, final)."""
+    frames = trace.configurations()
+    if len(frames) > max_frames:
+        step = max(1, len(frames) // max_frames)
+        kept = frames[::step]
+        if kept[-1] != frames[-1]:
+            kept.append(frames[-1])
+        frames = kept
+    blocks = []
+    for index, configuration in enumerate(frames):
+        header = f"--- frame {index} (diameter {configuration.diameter()}) ---"
+        blocks.append(header + "\n" + render_configuration(configuration, unicode_symbols=unicode_symbols))
+    footer = (
+        f"outcome: {trace.outcome.value} after {trace.num_rounds} rounds, "
+        f"{trace.total_moves} robot moves"
+    )
+    return "\n\n".join(blocks) + "\n\n" + footer
+
+
+def render_side_by_side(configs: Iterable[Configuration], labels: Optional[Iterable[str]] = None,
+                        unicode_symbols: bool = True) -> str:
+    """Render several configurations stacked vertically with labels.
+
+    (Kept simple on purpose: true side-by-side alignment of hexagonal lattices
+    in a terminal is rarely worth the complexity.)
+    """
+    blocks = []
+    labels = list(labels) if labels is not None else None
+    for index, configuration in enumerate(configs):
+        title = labels[index] if labels and index < len(labels) else f"configuration {index}"
+        blocks.append(f"== {title} ==\n" + render_configuration(configuration, unicode_symbols=unicode_symbols))
+    return "\n\n".join(blocks)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_enumerate_small(capsys):
+    assert main(["enumerate", "--size", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "44" in out
+
+
+def test_verify_two_robots(capsys):
+    # With two robots every connected configuration is already gathered, so
+    # the verification succeeds even for the trivial stay algorithm.
+    assert main(["verify", "--algorithm", "stay", "--size", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "configurations: 3" in out
+
+
+def test_verify_json_output(capsys):
+    main(["verify", "--algorithm", "stay", "--size", "2", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["configurations"] == 3
+    assert payload["gathered"] == 3
+
+
+def test_trace_builtin_configuration(capsys):
+    code = main(["trace", "--config", "line-e", "--ascii"])
+    out = capsys.readouterr().out
+    assert "outcome:" in out
+    assert code in (0, 1)
+
+
+def test_trace_json_configuration(capsys):
+    spec = json.dumps([[0, 0], [1, 0], [2, 0], [3, 0], [4, 0], [5, 0], [6, 0]])
+    code = main(["trace", "--config", spec, "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["outcome"] in {"gathered", "deadlock", "livelock", "disconnected", "collision", "round-limit"}
+    assert code in (0, 1)
+
+
+def test_trace_rejects_bad_configuration():
+    with pytest.raises(SystemExit):
+        main(["trace", "--config", "not-a-config"])
+
+
+def test_range1_candidates_only(capsys):
+    assert main(["range1", "--skip-search"]) == 0
+    out = capsys.readouterr().out
+    assert "east-pull" in out
+    assert "fails on" in out

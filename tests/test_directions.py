@@ -1,0 +1,56 @@
+"""Tests for repro.grid.directions."""
+import pytest
+
+from repro.grid.directions import DIRECTIONS, Direction, direction_from_vector
+
+
+def test_six_directions():
+    assert len(DIRECTIONS) == 6
+    assert len({d.value for d in DIRECTIONS}) == 6
+
+
+def test_vectors_sum_to_zero():
+    total = (sum(d.dq for d in DIRECTIONS), sum(d.dr for d in DIRECTIONS))
+    assert total == (0, 0)
+
+
+def test_opposites_are_involutive():
+    for d in DIRECTIONS:
+        assert d.opposite.opposite is d
+        assert (d.dq + d.opposite.dq, d.dr + d.opposite.dr) == (0, 0)
+
+
+def test_specific_opposites():
+    assert Direction.E.opposite is Direction.W
+    assert Direction.NE.opposite is Direction.SW
+    assert Direction.NW.opposite is Direction.SE
+
+
+def test_rotation_ccw_full_turn_is_identity():
+    for d in DIRECTIONS:
+        assert d.rotate_ccw(6) is d
+        assert d.rotate_cw(6) is d
+
+
+def test_rotation_one_step():
+    assert Direction.E.rotate_ccw() is Direction.NE
+    assert Direction.NE.rotate_ccw() is Direction.NW
+    assert Direction.E.rotate_cw() is Direction.SE
+
+
+def test_rotation_ccw_cw_inverse():
+    for d in DIRECTIONS:
+        for k in range(6):
+            assert d.rotate_ccw(k).rotate_cw(k) is d
+
+
+def test_direction_from_vector_roundtrip():
+    for d in DIRECTIONS:
+        assert direction_from_vector(d.value) is d
+
+
+def test_direction_from_vector_invalid():
+    with pytest.raises(ValueError):
+        direction_from_vector((2, 0))
+    with pytest.raises(ValueError):
+        direction_from_vector((0, 0))

@@ -1,0 +1,81 @@
+"""Tests for the paper's Fig. 48 label system (repro.grid.labels)."""
+import pytest
+
+from repro.grid.coords import disk, distance
+from repro.grid.directions import Direction
+from repro.grid.labels import (
+    ADJACENT_LABELS,
+    VISIBILITY_1_LABELS,
+    VISIBILITY_2_LABELS,
+    direction_of_label,
+    label_of_direction,
+    label_of_offset,
+    mirror_label,
+    offset_of_label,
+    x_element,
+    y_element,
+)
+
+
+def test_adjacent_labels_match_figure_48():
+    assert label_of_direction(Direction.E) == (2, 0)
+    assert label_of_direction(Direction.NE) == (1, 1)
+    assert label_of_direction(Direction.NW) == (-1, 1)
+    assert label_of_direction(Direction.W) == (-2, 0)
+    assert label_of_direction(Direction.SW) == (-1, -1)
+    assert label_of_direction(Direction.SE) == (1, -1)
+
+
+def test_distance_two_labels_match_figure_48():
+    expected = {
+        (4, 0), (3, 1), (2, 2), (0, 2), (-2, 2), (-3, 1),
+        (-4, 0), (-3, -1), (-2, -2), (0, -2), (2, -2), (3, -1),
+    }
+    actual = {
+        label_of_offset(node)
+        for node in disk((0, 0), 2)
+        if distance((0, 0), node) == 2
+    }
+    assert actual == expected
+
+
+def test_visibility_label_counts():
+    assert len(VISIBILITY_1_LABELS) == 6
+    assert len(VISIBILITY_2_LABELS) == 18
+    assert VISIBILITY_1_LABELS < VISIBILITY_2_LABELS
+
+
+def test_label_offset_roundtrip():
+    for node in disk((0, 0), 3):
+        label = label_of_offset(node)
+        assert offset_of_label(label) == node
+
+
+def test_offset_of_invalid_label():
+    with pytest.raises(ValueError):
+        offset_of_label((1, 0))  # mismatched parity addresses no node
+
+
+def test_direction_of_label_roundtrip():
+    for d in Direction:
+        assert direction_of_label(label_of_direction(d)) is d
+
+
+def test_direction_of_label_rejects_distance_two():
+    with pytest.raises(ValueError):
+        direction_of_label((4, 0))
+
+
+def test_label_elements():
+    assert x_element((3, -1)) == 3
+    assert y_element((3, -1)) == -1
+
+
+def test_mirror_label():
+    assert mirror_label((3, 1)) == (3, -1)
+    assert mirror_label((2, -2)) == (2, 2)
+    assert mirror_label((4, 0)) == (4, 0)
+
+
+def test_adjacent_label_order_matches_directions():
+    assert ADJACENT_LABELS == [label_of_direction(d) for d in Direction]

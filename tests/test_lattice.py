@@ -1,0 +1,90 @@
+"""Tests for repro.grid.lattice."""
+import pytest
+
+from repro.grid.coords import Coord
+from repro.grid.lattice import (
+    adjacency_degree,
+    boundary_nodes,
+    connected_components,
+    diameter,
+    eccentricity,
+    empty_neighbors,
+    is_connected,
+    nodes_within,
+    occupied_neighbors,
+    shortest_path,
+)
+
+
+def test_empty_and_singleton_are_connected():
+    assert is_connected([])
+    assert is_connected([(0, 0)])
+
+
+def test_line_is_connected():
+    assert is_connected([(i, 0) for i in range(7)])
+
+
+def test_gap_is_disconnected():
+    assert not is_connected([(0, 0), (2, 0)])
+
+
+def test_connected_components_partition():
+    comps = connected_components([(0, 0), (1, 0), (5, 5), (5, 6)])
+    assert len(comps) == 2
+    sizes = sorted(len(c) for c in comps)
+    assert sizes == [2, 2]
+
+
+def test_occupied_and_empty_neighbors():
+    nodes = {Coord(0, 0), Coord(1, 0), Coord(0, 1)}
+    occ = occupied_neighbors((0, 0), nodes)
+    assert set(occ) == {Coord(1, 0), Coord(0, 1)}
+    assert len(empty_neighbors((0, 0), nodes)) == 4
+
+
+def test_adjacency_degree():
+    nodes = {Coord(0, 0), Coord(1, 0), Coord(0, 1), Coord(-1, 0)}
+    assert adjacency_degree((0, 0), nodes) == 3
+    assert adjacency_degree((5, 5), nodes) == 0
+
+
+def test_boundary_nodes_of_hexagon():
+    from repro.core.configuration import hexagon
+
+    config = hexagon()
+    boundary = boundary_nodes(config.nodes)
+    # every node of the ring has empty neighbours; the centre does not.
+    assert Coord(0, 0) not in boundary
+    assert len(boundary) == 6
+
+
+def test_shortest_path_unrestricted_length_equals_distance():
+    path = shortest_path((0, 0), (3, -2))
+    assert path is not None
+    assert path[0] == Coord(0, 0) and path[-1] == Coord(3, -2)
+    assert len(path) - 1 == 5 // 2 + 3 - 5 // 2  # == distance((0,0),(3,-2)) == 3
+    from repro.grid.coords import distance
+
+    assert len(path) - 1 == distance((0, 0), (3, -2))
+
+
+def test_shortest_path_restricted():
+    allowed = {Coord(0, 0), Coord(1, 0), Coord(2, 0)}
+    path = shortest_path((0, 0), (2, 0), allowed)
+    assert path == [Coord(0, 0), Coord(1, 0), Coord(2, 0)]
+    assert shortest_path((0, 0), (5, 0), allowed) is None
+
+
+def test_diameter_and_eccentricity():
+    line = [(i, 0) for i in range(7)]
+    assert diameter(line) == 6
+    assert eccentricity((0, 0), line) == 6
+    assert eccentricity((3, 0), line) == 3
+    with pytest.raises(ValueError):
+        diameter([])
+
+
+def test_nodes_within():
+    line = [(i, 0) for i in range(7)]
+    assert nodes_within(line, (0, 0), 2) == [Coord(0, 0), Coord(1, 0), Coord(2, 0)]

@@ -1,0 +1,89 @@
+"""Tests for visibility-range-1 rule tables and gadget configurations."""
+import pytest
+
+from repro.algorithms.range1 import (
+    CANDIDATE_TABLES,
+    RuleTable,
+    RuleTableAlgorithm,
+    all_view_keys,
+    east_pull_table,
+    line_configuration,
+    southeast_drift_table,
+    view_key_of,
+    zigzag_configuration,
+)
+from repro.core.engine import run_execution
+from repro.core.trace import Outcome
+from repro.core.view import view_of
+from repro.grid.directions import Direction
+
+
+def test_all_view_keys_count():
+    assert len(all_view_keys()) == 63
+    assert len(all_view_keys(include_empty=True)) == 64
+
+
+def test_view_key_of():
+    config = line_configuration(Direction.E, 3)
+    key = view_key_of(view_of(config, (1, 0), 1))
+    assert key == frozenset({Direction.E, Direction.W})
+
+
+def test_rule_table_defaults_to_stay():
+    table = RuleTable({})
+    assert table.move_for(frozenset({Direction.E})) is None
+
+
+def test_rule_table_with_entry_is_persistent_copy():
+    table = RuleTable({}, name="t")
+    extended = table.with_entry(frozenset({Direction.E}), Direction.W)
+    assert table.move_for(frozenset({Direction.E})) is None
+    assert extended.move_for(frozenset({Direction.E})) is Direction.W
+
+
+def test_candidate_tables_are_total_enough():
+    for table in CANDIDATE_TABLES:
+        assert table.name
+        # every defined key maps to a Direction or None
+        for key in table.defined_keys():
+            move = table.move_for(key)
+            assert move is None or isinstance(move, Direction)
+
+
+def test_line_and_zigzag_shapes():
+    assert len(line_configuration().nodes) == 7
+    assert line_configuration().is_connected()
+    zig = zigzag_configuration()
+    assert len(zig.nodes) == 7
+    assert zig.is_connected()
+    assert not zig.is_gathered()
+
+
+@pytest.mark.parametrize("table", CANDIDATE_TABLES, ids=lambda t: t.name)
+def test_candidate_tables_fail_on_some_gadget(table):
+    """Theorem 1: every candidate range-1 rule table fails on a line gadget."""
+    algorithm = RuleTableAlgorithm(table)
+    outcomes = []
+    for direction in (Direction.SE, Direction.E, Direction.NE):
+        trace = run_execution(line_configuration(direction), algorithm, max_rounds=500)
+        outcomes.append(trace.outcome)
+    assert any(outcome is not Outcome.GATHERED for outcome in outcomes)
+
+
+def test_east_pull_fails_by_construction():
+    algorithm = RuleTableAlgorithm(east_pull_table())
+    trace = run_execution(line_configuration(Direction.NE), algorithm, max_rounds=500)
+    assert trace.outcome is not Outcome.GATHERED
+
+
+def test_southeast_drift_livelocks_on_a_line():
+    """The Figs. 12-13 style oscillation: the SE-drift rule never terminates."""
+    algorithm = RuleTableAlgorithm(southeast_drift_table())
+    trace = run_execution(line_configuration(Direction.SE), algorithm, max_rounds=500)
+    assert trace.outcome in (Outcome.LIVELOCK, Outcome.DEADLOCK)
+    assert not trace.final.is_gathered()
+
+
+def test_rule_table_algorithm_name():
+    assert RuleTableAlgorithm(east_pull_table()).name == "range1:east-pull"
+    assert RuleTableAlgorithm(east_pull_table()).visibility_range == 1

@@ -1,0 +1,82 @@
+"""Tests for schedulers and execution traces."""
+import pytest
+
+from repro.core.algorithm import StayAlgorithm
+from repro.core.configuration import hexagon, line
+from repro.core.engine import run_execution
+from repro.core.scheduler import (
+    FullySynchronousScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.trace import Outcome
+from repro.grid.coords import Coord
+
+
+def test_fsync_activates_everyone():
+    scheduler = FullySynchronousScheduler()
+    positions = line(7).sorted_nodes()
+    assert scheduler.activated(0, positions) == set(positions)
+    assert scheduler.activated(10, positions) == set(positions)
+
+
+def test_round_robin_is_fair():
+    scheduler = RoundRobinScheduler(robots_per_round=2)
+    positions = line(7).sorted_nodes()
+    activated = set()
+    for round_index in range(7):
+        activated |= scheduler.activated(round_index, positions)
+    assert activated == set(positions)
+
+
+def test_round_robin_window_size():
+    scheduler = RoundRobinScheduler(robots_per_round=3)
+    positions = line(7).sorted_nodes()
+    assert len(scheduler.activated(0, positions)) == 3
+    with pytest.raises(ValueError):
+        RoundRobinScheduler(robots_per_round=0)
+
+
+def test_random_subset_is_seeded_and_nonempty():
+    a = RandomSubsetScheduler(probability=0.5, seed=42)
+    b = RandomSubsetScheduler(probability=0.5, seed=42)
+    positions = line(7).sorted_nodes()
+    seq_a = [frozenset(a.activated(i, positions)) for i in range(5)]
+    seq_b = [frozenset(b.activated(i, positions)) for i in range(5)]
+    assert seq_a == seq_b
+    assert all(s for s in seq_a)
+    with pytest.raises(ValueError):
+        RandomSubsetScheduler(probability=0.0)
+
+
+def test_random_subset_reset_restores_sequence():
+    sched = RandomSubsetScheduler(probability=0.5, seed=7)
+    positions = line(7).sorted_nodes()
+    first = [frozenset(sched.activated(i, positions)) for i in range(3)]
+    sched.reset()
+    second = [frozenset(sched.activated(i, positions)) for i in range(3)]
+    assert first == second
+
+
+def test_outcome_success_flag():
+    assert Outcome.GATHERED.is_success
+    for outcome in Outcome:
+        if outcome is not Outcome.GATHERED:
+            assert not outcome.is_success
+
+
+def test_trace_summary_and_configurations():
+    trace = run_execution(hexagon(), StayAlgorithm())
+    summary = trace.summary()
+    assert summary["outcome"] == "gathered"
+    assert summary["rounds"] == 0
+    assert trace.configurations()[-1] == hexagon()
+
+
+def test_trace_round_records():
+    trace = run_execution(line(3), StayAlgorithm())
+    assert trace.rounds
+    record = trace.rounds[0]
+    assert record.is_quiescent
+    assert record.moved_count == 0
+    assert Coord(0, 0) in record.activated

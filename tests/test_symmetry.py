@@ -1,0 +1,70 @@
+"""Tests for repro.grid.symmetry."""
+from repro.core.configuration import hexagon, line
+from repro.grid.coords import Coord, distance
+from repro.grid.symmetry import (
+    all_rotations,
+    all_symmetries,
+    canonical_translation,
+    canonical_up_to_symmetry,
+    reflect_x,
+    rotate,
+    rotate60,
+    symmetry_order,
+    translate_to_origin,
+)
+
+
+def test_translate_to_origin_anchors_min_node():
+    shifted = translate_to_origin([(3, 3), (4, 3), (3, 4)])
+    assert min(shifted) == Coord(0, 0)
+    assert len(shifted) == 3
+
+
+def test_canonical_translation_invariant_under_translation():
+    nodes = [(0, 0), (1, 0), (1, 1)]
+    moved = [(q + 5, r - 7) for q, r in nodes]
+    assert canonical_translation(nodes) == canonical_translation(moved)
+
+
+def test_canonical_translation_distinguishes_rotations():
+    nodes = [(0, 0), (1, 0), (2, 0)]          # E-line
+    rotated = [(0, 0), (0, 1), (0, 2)]        # NE-line
+    assert canonical_translation(nodes) != canonical_translation(rotated)
+
+
+def test_rotate60_preserves_distance_to_origin():
+    for node in [(1, 0), (2, -1), (3, 2), (-1, 4)]:
+        assert distance((0, 0), rotate60(node)) == distance((0, 0), node)
+
+
+def test_rotate_six_times_is_identity():
+    for node in [(1, 0), (2, -1), (3, 2)]:
+        assert rotate(node, 6) == Coord(*node)
+
+
+def test_reflect_x_is_involutive_and_fixes_x_axis():
+    for node in [(1, 0), (2, -1), (3, 2)]:
+        assert reflect_x(reflect_x(node)) == Coord(*node)
+    assert reflect_x((4, 0)) == Coord(4, 0)
+
+
+def test_all_rotations_and_symmetries_counts():
+    nodes = [(0, 0), (1, 0), (1, 1)]
+    assert len(all_rotations(nodes)) == 6
+    assert len(all_symmetries(nodes)) == 12
+
+
+def test_hexagon_is_fully_symmetric():
+    assert symmetry_order(hexagon().nodes) == 12
+
+
+def test_line_symmetry_order():
+    # A straight line is invariant under the 180-degree rotation and under the
+    # reflection across its own axis: symmetry order 4 within D6.
+    assert symmetry_order(line(7).nodes) == 4
+
+
+def test_canonical_up_to_symmetry_merges_rotations():
+    nodes = [(0, 0), (1, 0), (2, 0)]
+    rotated = [(0, 0), (0, 1), (0, 2)]
+    assert canonical_up_to_symmetry(nodes) == canonical_up_to_symmetry(rotated)

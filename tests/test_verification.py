@@ -1,0 +1,81 @@
+"""Tests for the exhaustive verification harness (experiment E2 machinery)."""
+import pytest
+
+from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.analysis.verification import (
+    VerificationReport,
+    verify_all_configurations,
+    verify_configuration,
+    verify_configurations,
+)
+from repro.core.algorithm import StayAlgorithm
+from repro.core.configuration import hexagon, line
+from repro.core.trace import Outcome
+from repro.enumeration.polyhex import enumerate_connected_configurations
+
+
+def test_verify_configuration_gathered():
+    result = verify_configuration(hexagon(), StayAlgorithm())
+    assert result.succeeded
+    assert result.rounds == 0
+    assert result.initial_diameter == 2
+
+
+def test_verify_configuration_failure():
+    result = verify_configuration(line(7), StayAlgorithm())
+    assert not result.succeeded
+    assert result.outcome is Outcome.DEADLOCK
+
+
+def test_report_aggregates():
+    algo = ShibataGatheringAlgorithm()
+    configs = [hexagon(), line(7)]
+    report = verify_configurations(configs, algo)
+    assert report.total == 2
+    assert 0 < report.successes <= 2
+    assert 0.0 < report.success_rate <= 1.0
+    assert set(report.outcome_counts()) <= {o.value for o in Outcome}
+    summary = report.summary()
+    assert summary["configurations"] == 2
+
+
+def test_report_empty():
+    report = VerificationReport(algorithm_name="none")
+    assert report.success_rate == 0.0
+    assert not report.all_gathered
+    assert report.max_rounds() == 0
+    assert report.mean_rounds() == 0.0
+
+
+def test_verify_all_small_size_stay_algorithm():
+    # With 2 robots every connected configuration is already gathered.
+    report = verify_all_configurations(algorithm=StayAlgorithm(), size=2)
+    assert report.total == 3
+    assert report.all_gathered
+
+
+def test_verify_all_requires_exactly_one_algorithm_argument():
+    with pytest.raises(ValueError):
+        verify_all_configurations()
+    with pytest.raises(ValueError):
+        verify_all_configurations(algorithm=StayAlgorithm(), algorithm_name="stay", size=2)
+
+
+def test_progress_callback_invoked():
+    seen = []
+    verify_configurations(
+        enumerate_connected_configurations(3),
+        StayAlgorithm(),
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    assert seen[-1] == (11, 11)
+
+
+@pytest.mark.slow
+def test_parallel_matches_serial_on_size_five():
+    serial = verify_all_configurations(algorithm_name="shibata-visibility2", size=5)
+    parallel = verify_all_configurations(
+        algorithm_name="shibata-visibility2", size=5, workers=2, chunk_size=50
+    )
+    assert serial.total == parallel.total == 186
+    assert serial.outcome_counts() == parallel.outcome_counts()

@@ -1,0 +1,102 @@
+"""Tests for repro.core.view."""
+import pytest
+
+from repro.core.configuration import Configuration, hexagon
+from repro.core.view import View, all_views_of, view_of
+from repro.grid.coords import Coord
+from repro.grid.directions import Direction
+
+
+def test_view_excludes_self_and_checks_range():
+    view = View([(1, 0), (0, 0)], visibility_range=1)
+    assert len(view) == 1
+    with pytest.raises(ValueError):
+        View([(3, 0)], visibility_range=2)
+
+
+def test_view_of_requires_robot_at_position():
+    config = Configuration([(0, 0), (1, 0)])
+    with pytest.raises(ValueError):
+        view_of(config, (5, 5), 2)
+
+
+def test_view_of_range_1_sees_only_adjacent():
+    config = Configuration([(0, 0), (1, 0), (2, 0), (0, 1)])
+    view = view_of(config, (0, 0), 1)
+    assert view.occupied_offsets == frozenset({Coord(1, 0), Coord(0, 1)})
+    assert view.adjacent_degree() == 2
+
+
+def test_view_of_range_2_sees_two_hops():
+    config = Configuration([(0, 0), (1, 0), (2, 0), (0, 1)])
+    view = view_of(config, (0, 0), 2)
+    assert Coord(2, 0) in view.occupied_offsets
+    assert view.occupied_label((4, 0))
+    assert view.occupied_label((2, 0))
+    assert view.occupied_label((1, 1))
+    assert not view.occupied_label((3, 1))
+
+
+def test_figure_3_example():
+    # Fig. 3 of the paper: a robot at v_j sees robots E, SW, NE at range 1 and
+    # two more robot nodes at range 2.
+    config = Configuration([(0, 0), (1, 0), (0, -1), (0, 1), (2, -1), (-1, 2)])
+    view1 = view_of(config, (0, 0), 1)
+    assert set(view1.adjacent_robot_directions()) == {
+        Direction.E,
+        Direction.SW,
+        Direction.NE,
+    }
+    view2 = view_of(config, (0, 0), 2)
+    assert len(view2) == 5
+
+
+def test_own_node_always_occupied():
+    view = View([(1, 0)], 2)
+    assert view.occupied((0, 0))
+    assert view.occupied_label((0, 0))
+
+
+def test_labels_with_max_x_and_tie():
+    view = View([(0, 1), (1, -1)], 2)  # labels (1,1) and (1,-1)
+    assert view.max_x_element() == 1
+    assert view.labels_with_max_x() == [(1, -1), (1, 1)]
+
+
+def test_labels_with_max_x_self_included_when_zero():
+    view = View([(-1, 0)], 2)  # only a west robot: max x is the robot's own 0
+    assert view.max_x_element() == 0
+    assert (0, 0) in view.labels_with_max_x()
+
+
+def test_robots_at_distance():
+    config = hexagon()
+    view = view_of(config, (0, 0), 2)
+    assert len(view.robots_at_distance(1)) == 6
+    assert view.robots_at_distance(2) == []
+
+
+def test_restricted_view():
+    config = Configuration([(0, 0), (1, 0), (2, 0)])
+    view2 = view_of(config, (0, 0), 2)
+    view1 = view2.restricted(1)
+    assert view1.visibility_range == 1
+    assert view1.occupied_offsets == frozenset({Coord(1, 0)})
+    with pytest.raises(ValueError):
+        view1.restricted(2)
+
+
+def test_all_views_of():
+    config = Configuration([(0, 0), (1, 0)])
+    views = all_views_of(config, 1)
+    assert len(views) == 2
+    positions = [pos for pos, _ in views]
+    assert positions == [Coord(0, 0), Coord(1, 0)]
+
+
+def test_view_equality_and_hash():
+    a = View([(1, 0)], 2)
+    b = View([(1, 0)], 2)
+    c = View([(1, 0)], 1)
+    assert a == b and hash(a) == hash(b)
+    assert a != c

@@ -1,0 +1,138 @@
+"""Tests for the paper's visibility-range-2 algorithm (Algorithm 1)."""
+import pytest
+
+from repro.algorithms.visibility2 import ALL_RULE_IDS, ShibataGatheringAlgorithm
+from repro.core.configuration import Configuration, hexagon, line
+from repro.core.engine import run_execution
+from repro.core.trace import Outcome
+from repro.core.view import view_of
+from repro.grid.directions import Direction
+
+
+@pytest.fixture(scope="module")
+def algorithm():
+    return ShibataGatheringAlgorithm()
+
+
+def test_requires_visibility_two(algorithm):
+    from repro.core.view import View
+
+    with pytest.raises(ValueError):
+        algorithm.compute(View([(1, 0)], 1))
+
+
+def test_gathered_configuration_is_quiescent(algorithm):
+    config = hexagon()
+    for position in config.sorted_nodes():
+        view = view_of(config, position, 2)
+        assert algorithm.compute(view) is None
+
+
+def test_r1_move_east_to_become_base(algorithm):
+    # Robots at NE and SE of the observer, east node empty, nothing further
+    # east: the observer moves east to become the base (Fig. 49(c)).
+    config = Configuration([(0, 0), (0, 1), (1, -1), (-1, 0), (-1, 1), (-1, -1), (-2, 0)])
+    view = view_of(config, (0, 0), 2)
+    rule, move = algorithm.explain(view)
+    assert rule == "R1"
+    assert move is Direction.E
+
+
+def test_rule_identifiers_are_known(algorithm):
+    config = line(7)
+    for position in config.sorted_nodes():
+        rule, _ = algorithm.explain(view_of(config, position, 2))
+        base_rule = rule.split(":")[0]
+        assert base_rule in set(ALL_RULE_IDS) | {"stay", "recon", "R1"}
+
+
+def test_disabled_rule_suppresses_move():
+    full = ShibataGatheringAlgorithm()
+    ablated = ShibataGatheringAlgorithm(disabled_rules=["R6"])
+    # Bottom robot of a NE-line fires R6 (move NW) in the full algorithm.
+    config = Configuration([(0, i) for i in range(7)])
+    view = view_of(config, (0, 0), 2)
+    assert full.explain(view)[0] == "R6"
+    assert full.explain(view)[1] is Direction.NW
+    assert ablated.explain(view)[1] is None
+
+
+def test_unknown_rule_identifier_rejected():
+    with pytest.raises(ValueError):
+        ShibataGatheringAlgorithm(disabled_rules=["bogus"])
+
+
+def test_literal_flag_changes_name():
+    assert "literal" in ShibataGatheringAlgorithm(include_reconstructed=False).name
+    assert "minus" in ShibataGatheringAlgorithm(disabled_rules=["R1"]).name
+
+
+def test_east_line_gathers(algorithm):
+    config = Configuration([(i, 0) for i in range(7)])
+    trace = run_execution(config, algorithm, max_rounds=200)
+    assert trace.outcome is Outcome.GATHERED
+    assert trace.final.is_gathered()
+
+
+def test_ne_line_gathers(algorithm):
+    config = Configuration([(0, i) for i in range(7)])
+    trace = run_execution(config, algorithm, max_rounds=200)
+    assert trace.outcome is Outcome.GATHERED
+
+
+def test_se_line_deadlocks_with_literal_pseudocode(algorithm):
+    # The NW-SE line needs one of the behaviours the paper omits; the printed
+    # pseudocode leaves it quiescent short of gathering (see EXPERIMENTS.md).
+    trace = run_execution(line(7), algorithm, max_rounds=200)
+    assert trace.outcome is Outcome.DEADLOCK
+    assert trace.final.is_connected()
+
+
+def test_compact_blob_gathers(algorithm):
+    config = Configuration([(0, 0), (1, 0), (0, 1), (1, 1), (2, 0), (2, 1), (0, 2)])
+    trace = run_execution(config, algorithm, max_rounds=200)
+    assert trace.outcome is Outcome.GATHERED
+
+
+def test_never_collides_on_sample(algorithm):
+    """Collision-freedom spot check on a structured sample of initial configurations."""
+    from repro.enumeration.polyhex import enumerate_connected_configurations
+
+    sample = enumerate_connected_configurations(7)[::37]  # ~100 configurations
+    for config in sample:
+        trace = run_execution(config, algorithm, max_rounds=400, record_rounds=False)
+        assert trace.outcome is not Outcome.COLLISION
+        assert trace.outcome is not Outcome.LIVELOCK
+
+
+def test_gathering_is_stable_once_reached(algorithm):
+    trace = run_execution(Configuration([(i, 0) for i in range(7)]), algorithm, max_rounds=200)
+    assert trace.final.is_gathered()
+    # Re-running from the final configuration changes nothing.
+    again = run_execution(trace.final, algorithm, max_rounds=10)
+    assert again.num_rounds == 0
+    assert again.final == trace.final
+
+
+def test_mirror_symmetry_of_r3_r5_rules(algorithm):
+    """The (3,1) and (3,-1) rule families are mirror images across the x-axis."""
+    from repro.grid.symmetry import reflect_x
+
+    config = Configuration([(0, 0), (0, 1), (1, 1), (2, 1), (1, 0), (2, 0), (1, -1)])
+    mirrored = Configuration([reflect_x(n) for n in config.nodes])
+    for position in config.sorted_nodes():
+        rule, move = algorithm.explain(view_of(config, position, 2))
+        m_rule, m_move = algorithm.explain(view_of(mirrored, reflect_x(position), 2))
+        if move is None:
+            assert m_move is None
+        else:
+            # the mirrored move is the x-axis reflection of the original move
+            mirror_map = {
+                Direction.E: Direction.E,
+                Direction.W: Direction.W,
+                Direction.NE: Direction.SE,
+                Direction.SE: Direction.NE,
+                Direction.NW: Direction.SW,
+                Direction.SW: Direction.NW,
+            }
+            assert m_move is mirror_map[move]
