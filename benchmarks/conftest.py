@@ -4,8 +4,22 @@ Every benchmark regenerates one experiment of EXPERIMENTS.md (E1–E8).  The
 heavy artefacts (the 3652-configuration enumeration and the exhaustive
 verification of the paper's algorithm) are computed once per session and
 shared across benchmark files.
+
+Helpers are exposed as fixtures (``print_table``, ``bench_timings``) rather
+than imported from this module so the benchmark files collect without package
+context (plain ``pytest`` from the repository root).
+
+At session end the timings recorded in ``bench_timings`` are written to
+``BENCH_kernel.json`` at the repository root, so later PRs can track the
+performance trajectory of the simulation kernel.
 """
 from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -13,24 +27,44 @@ from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
 from repro.analysis.verification import VerificationReport, verify_configurations
 from repro.enumeration.polyhex import enumerate_connected_configurations
 
+#: Timings recorded during the session, dumped to BENCH_kernel.json at exit.
+_TIMINGS: Dict[str, object] = {}
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
 
 @pytest.fixture(scope="session")
 def all_seven_robot_configurations():
     """The 3652 connected initial configurations of the paper (experiment E1)."""
-    return enumerate_connected_configurations(7)
+    start = time.perf_counter()
+    configurations = enumerate_connected_configurations(7)
+    _TIMINGS["enumeration_seconds"] = round(time.perf_counter() - start, 4)
+    _TIMINGS["enumeration_configurations"] = len(configurations)
+    return configurations
 
 
 @pytest.fixture(scope="session")
 def paper_algorithm_report(all_seven_robot_configurations) -> VerificationReport:
     """Exhaustive verification of the transcribed Algorithm 1 (experiment E2)."""
-    return verify_configurations(
+    start = time.perf_counter()
+    report = verify_configurations(
         all_seven_robot_configurations,
         ShibataGatheringAlgorithm(),
         max_rounds=600,
     )
+    _TIMINGS["exhaustive_verification_seconds"] = round(time.perf_counter() - start, 4)
+    _TIMINGS["exhaustive_verification_gathered"] = report.successes
+    _TIMINGS["exhaustive_verification_total"] = report.total
+    return report
 
 
-def print_table(title, rows):
+@pytest.fixture(scope="session")
+def bench_timings() -> Dict[str, object]:
+    """Mutable mapping benchmarks may add timings to; persisted at session end."""
+    return _TIMINGS
+
+
+def _print_table(title, rows):
     """Print a small aligned table to the benchmark log."""
     print(f"\n=== {title} ===")
     if not rows:
@@ -42,3 +76,30 @@ def print_table(title, rows):
     print("-+-".join("-" * widths[k] for k in keys))
     for row in rows:
         print(" | ".join(str(row[k]).ljust(widths[k]) for k in keys))
+
+
+@pytest.fixture(name="print_table", scope="session")
+def print_table_fixture():
+    """The table printer, as a fixture so benchmark modules need no imports."""
+    return _print_table
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the kernel timing baseline for cross-PR performance tracking.
+
+    Only a green session that actually ran the exhaustive verification may
+    rewrite the committed baseline; partial or failing runs would otherwise
+    churn it with incomplete numbers.
+    """
+    if exitstatus != 0 or "exhaustive_verification_seconds" not in _TIMINGS:
+        return
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": round(time.time(), 1),
+        "timings": dict(sorted(_TIMINGS.items())),
+    }
+    try:
+        _BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass

@@ -11,8 +11,6 @@ import pytest
 from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
 from repro.analysis.verification import verify_configurations
 
-from .conftest import print_table
-
 #: Rule families ablated together (moving rules and their anti-standstill twins).
 ABLATIONS = {
     "full algorithm": (),
@@ -24,7 +22,7 @@ ABLATIONS = {
 
 
 @pytest.mark.benchmark(group="E6-ablation")
-def test_rule_ablation(benchmark, all_seven_robot_configurations):
+def test_rule_ablation(benchmark, all_seven_robot_configurations, print_table):
     sample = all_seven_robot_configurations[::8]  # 457 configurations
 
     def run_ablation():

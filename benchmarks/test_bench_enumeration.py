@@ -8,11 +8,9 @@ import pytest
 
 from repro.enumeration.polyhex import FIXED_POLYHEX_COUNTS, enumerate_canonical_node_sets
 
-from .conftest import print_table
-
 
 @pytest.mark.benchmark(group="E1-enumeration")
-def test_enumerate_all_3652_initial_configurations(benchmark):
+def test_enumerate_all_3652_initial_configurations(benchmark, print_table):
     shapes = benchmark.pedantic(
         lambda: enumerate_canonical_node_sets(7), rounds=1, iterations=1
     )

@@ -14,12 +14,10 @@ from repro.algorithms.baselines import FullVisibilityGreedyAlgorithm, NaiveEastA
 from repro.analysis.statistics import outcome_by_diameter, rounds_by_diameter, success_table
 from repro.analysis.verification import verify_configurations
 
-from .conftest import print_table
-
 
 @pytest.mark.benchmark(group="E2-exhaustive-gathering")
 def test_exhaustive_gathering_paper_algorithm(benchmark, all_seven_robot_configurations,
-                                              paper_algorithm_report):
+                                              paper_algorithm_report, print_table):
     report = paper_algorithm_report
     # Benchmark the simulation throughput on a slice (the full report is
     # already computed by the session fixture and reused below).
@@ -73,7 +71,7 @@ def test_exhaustive_gathering_paper_algorithm(benchmark, all_seven_robot_configu
 
 @pytest.mark.benchmark(group="E2-exhaustive-gathering")
 def test_exhaustive_gathering_baselines(benchmark, all_seven_robot_configurations,
-                                        paper_algorithm_report):
+                                        paper_algorithm_report, print_table):
     """Baselines for context: unbounded visibility vs. a naive visibility-2 rule."""
     sample = all_seven_robot_configurations[::10]  # 366 configurations
 

@@ -20,11 +20,9 @@ from repro.core.engine import run_execution
 from repro.core.trace import Outcome
 from repro.grid.directions import Direction
 
-from .conftest import print_table
-
 
 @pytest.mark.benchmark(group="E3-range1")
-def test_candidate_rule_tables_all_fail(benchmark):
+def test_candidate_rule_tables_all_fail(benchmark, print_table):
     def evaluate():
         rows = []
         for table in CANDIDATE_TABLES:
@@ -49,7 +47,7 @@ def test_candidate_rule_tables_all_fail(benchmark):
 
 
 @pytest.mark.benchmark(group="E3-range1")
-def test_rule_space_search(benchmark):
+def test_rule_space_search(benchmark, print_table):
     result = benchmark.pedantic(
         lambda: search_rule_space(suite=default_gadget_suite(), max_nodes=2000),
         rounds=1,
@@ -88,7 +86,7 @@ def test_rule_space_search(benchmark):
 
 
 @pytest.mark.benchmark(group="E5-range1-livelock")
-def test_figures_12_13_livelock(benchmark):
+def test_figures_12_13_livelock(benchmark, print_table):
     algorithm = RuleTableAlgorithm(southeast_drift_table())
     trace = benchmark.pedantic(
         lambda: run_execution(line_configuration(Direction.SE), algorithm, max_rounds=500),

@@ -8,11 +8,9 @@ import pytest
 
 from repro.analysis.statistics import moves_by_diameter, rounds_by_diameter
 
-from .conftest import print_table
-
 
 @pytest.mark.benchmark(group="E7-round-complexity")
-def test_round_and_move_complexity(benchmark, paper_algorithm_report):
+def test_round_and_move_complexity(benchmark, paper_algorithm_report, print_table):
     report = paper_algorithm_report
 
     def tabulate():

@@ -12,8 +12,6 @@ from repro.analysis.verification import verify_configurations
 from repro.core.configuration import Configuration
 from repro.core.engine import run_execution
 
-from .conftest import print_table
-
 
 @pytest.mark.benchmark(group="E8-performance")
 def test_single_execution_latency(benchmark):
@@ -24,7 +22,7 @@ def test_single_execution_latency(benchmark):
 
 
 @pytest.mark.benchmark(group="E8-performance")
-def test_verification_throughput(benchmark, all_seven_robot_configurations):
+def test_verification_throughput(benchmark, all_seven_robot_configurations, print_table):
     algorithm = ShibataGatheringAlgorithm()
     sample = all_seven_robot_configurations[::20]  # 183 configurations
 

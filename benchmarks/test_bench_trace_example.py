@@ -15,8 +15,6 @@ from repro.core.configuration import Configuration
 from repro.core.engine import run_execution
 from repro.core.trace import Outcome
 
-from .conftest import print_table
-
 #: An initial configuration matching the Fig. 54(a) situation: a compact blob
 #: whose rightmost column already contains the future base node.
 FIGURE_54_INITIAL = Configuration(
@@ -25,7 +23,7 @@ FIGURE_54_INITIAL = Configuration(
 
 
 @pytest.mark.benchmark(group="E4-trace-example")
-def test_figure_54_execution(benchmark):
+def test_figure_54_execution(benchmark, print_table):
     algorithm = ShibataGatheringAlgorithm()
     trace = benchmark.pedantic(
         lambda: run_execution(FIGURE_54_INITIAL, algorithm, max_rounds=100),

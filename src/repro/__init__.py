@@ -10,12 +10,13 @@ that regenerate the paper's evaluation.
 Quickstart
 ----------
 >>> from repro import Configuration, ShibataGatheringAlgorithm, run_execution
->>> from repro import line
->>> trace = run_execution(line(7), ShibataGatheringAlgorithm())
+>>> trace = run_execution(Configuration([(i, 0) for i in range(7)]),
+...                       ShibataGatheringAlgorithm())
 >>> trace.outcome.value
 'gathered'
 """
 from .algorithms import (
+    CachedAlgorithm,
     FullVisibilityGreedyAlgorithm,
     NaiveEastAlgorithm,
     RuleTable,
@@ -35,6 +36,7 @@ from .analysis import (
 from .core import (
     GATHERING_SIZE,
     Configuration,
+    ExecutionBatch,
     ExecutionTrace,
     FullySynchronousScheduler,
     FunctionAlgorithm,
@@ -43,11 +45,15 @@ from .core import (
     RandomSubsetScheduler,
     RoundRobinScheduler,
     StayAlgorithm,
+    SweepCell,
     View,
     from_offsets,
     hexagon,
     line,
     run_execution,
+    run_many,
+    run_sweep,
+    scheduler_from_spec,
     view_of,
 )
 from .enumeration import (
@@ -63,9 +69,11 @@ __all__ = [
     "__version__",
     "GATHERING_SIZE",
     "FIXED_POLYHEX_COUNTS",
+    "CachedAlgorithm",
     "Configuration",
     "Coord",
     "Direction",
+    "ExecutionBatch",
     "ExecutionTrace",
     "FullVisibilityGreedyAlgorithm",
     "FullySynchronousScheduler",
@@ -79,6 +87,7 @@ __all__ = [
     "RuleTableAlgorithm",
     "ShibataGatheringAlgorithm",
     "StayAlgorithm",
+    "SweepCell",
     "VerificationReport",
     "View",
     "available_algorithms",
@@ -93,6 +102,9 @@ __all__ = [
     "neighbors",
     "register_algorithm",
     "run_execution",
+    "run_many",
+    "run_sweep",
+    "scheduler_from_spec",
     "verify_all_configurations",
     "verify_configuration",
     "verify_configurations",

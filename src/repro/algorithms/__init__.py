@@ -10,6 +10,7 @@ from .baselines import (
     FullVisibilityGreedyAlgorithm,
     NaiveEastAlgorithm,
 )
+from .cached import CachedAlgorithm, CacheInfo
 from .range1 import (
     CANDIDATE_TABLES,
     RuleTable,
@@ -32,6 +33,8 @@ __all__ = [
     "BASE_MOVE_LABELS",
     "BASE_STAY_LABELS",
     "CANDIDATE_TABLES",
+    "CacheInfo",
+    "CachedAlgorithm",
     "FULL_VISIBILITY_RANGE",
     "FullVisibilityGreedyAlgorithm",
     "NaiveEastAlgorithm",

@@ -10,6 +10,7 @@ from typing import Callable, Dict, List
 
 from ..core.algorithm import GatheringAlgorithm, StayAlgorithm
 from .baselines import FullVisibilityGreedyAlgorithm, NaiveEastAlgorithm
+from .cached import CachedAlgorithm
 from .range1 import CANDIDATE_TABLES, RuleTableAlgorithm
 from .visibility2 import ShibataGatheringAlgorithm
 
@@ -23,8 +24,13 @@ def register_algorithm(name: str, factory: Callable[[], GatheringAlgorithm]) -> 
     _REGISTRY[name] = factory
 
 
-def create_algorithm(name: str) -> GatheringAlgorithm:
+def create_algorithm(name: str, cached: bool = False) -> GatheringAlgorithm:
     """Instantiate the algorithm registered under ``name``.
+
+    With ``cached=True`` the instance is wrapped in
+    :class:`~repro.algorithms.cached.CachedAlgorithm`, exposing the decision
+    cache and its statistics explicitly (the engine memoizes deterministic
+    algorithms either way).
 
     Raises
     ------
@@ -37,7 +43,10 @@ def create_algorithm(name: str) -> GatheringAlgorithm:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return factory()
+    algorithm = factory()
+    if cached:
+        return CachedAlgorithm(algorithm)
+    return algorithm
 
 
 def available_algorithms() -> List[str]:

@@ -30,9 +30,9 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..algorithms.range1 import RuleTable, RuleTableAlgorithm, ViewKey, line_configuration
 from ..core.configuration import Configuration
 from ..core.engine import apply_moves, detect_collision
-from ..core.view import view_of
 from ..grid.coords import Coord
-from ..grid.directions import DIRECTIONS, Direction
+from ..grid.directions import DIRECTIONS, Direction, direction_from_vector
+from ..grid.packing import disk_offsets, offset_bit_table, pack_nodes
 
 __all__ = [
     "SearchResult",
@@ -44,6 +44,18 @@ __all__ = [
 
 #: Moves a rule table may assign to a view: stay or one of the six directions.
 _MOVE_CHOICES: Tuple[Optional[Direction], ...] = (None,) + tuple(DIRECTIONS)
+
+#: Range-1 view bitmask -> adjacency-pattern view key.  A range-1 view is a
+#: subset of the six neighbours, so all 64 bitmasks are enumerated up front
+#: and the simulation loop maps packed views to table keys with one lookup.
+_MASK_TO_VIEW_KEY: Tuple[ViewKey, ...] = tuple(
+    frozenset(
+        direction_from_vector(offset)
+        for index, offset in enumerate(disk_offsets(1))
+        if mask & (1 << index)
+    )
+    for mask in range(64)
+)
 
 
 @dataclass
@@ -107,13 +119,24 @@ def simulate_with_partial_table(
     non-gathered quiescence, revisited configuration or round exhaustion), or
     when it reaches a gathered quiescent configuration.
     """
+    # The packed Look-Compute loop of the engine kernel, specialised to
+    # range-1 adjacency patterns: a view is one of 64 neighbour bitmasks,
+    # mapped straight to the partial table's frozenset keys.
+    bit_table = offset_bit_table(1)
+    bit_table_get = bit_table.get
     configuration = initial
-    seen = {configuration.canonical_key(): 0}
+    seen = {pack_nodes(configuration.nodes): 0}
     for _ in range(max_rounds):
         moves: Dict[Coord, Direction] = {}
-        for position in configuration.sorted_nodes():
-            view = view_of(configuration, position, 1)
-            key: ViewKey = frozenset(view.adjacent_robot_directions())
+        positions = configuration.sorted_nodes()
+        for position in positions:
+            pq, pr = position
+            bitmask = 0
+            for other in positions:
+                bit = bit_table_get((other[0] - pq, other[1] - pr))
+                if bit is not None:
+                    bitmask |= bit
+            key = _MASK_TO_VIEW_KEY[bitmask]
             if key not in table:
                 return SimulationProbe(status="needs", missing_view=key)
             decision = table[key]
@@ -129,7 +152,7 @@ def simulate_with_partial_table(
         configuration = apply_moves(configuration, moves)
         if not configuration.is_connected():
             return SimulationProbe(status="failed", reason="disconnected")
-        key2 = configuration.canonical_key()
+        key2 = pack_nodes(configuration.nodes)
         if key2 in seen:
             return SimulationProbe(status="failed", reason="livelock")
         seen[key2] = 1

@@ -6,24 +6,20 @@ module reruns exactly that experiment: it enumerates every connected initial
 configuration of seven robots (up to translation), runs one execution per
 configuration and aggregates the outcomes.
 
-The harness runs serially by default; because configurations are independent
-the work is embarrassingly parallel, and :func:`verify_all_configurations`
-accepts ``workers > 1`` to fan the executions out over a multiprocessing pool
-(one chunk of configurations per task, following the guidance of the HPC
-coding guides: parallelise the outer, independent loop and keep the per-task
-payload large enough to amortise the process overhead).
+Execution itself — serial or fanned out over a multiprocessing pool — is
+delegated to the unified batch runner (:mod:`repro.core.runner`), which the
+CLI and the benchmark harness share; this module contributes the
+report/aggregation layer on top.
 """
 from __future__ import annotations
 
-import multiprocessing
-import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
-from ..algorithms.registry import create_algorithm
 from ..core.algorithm import GatheringAlgorithm
 from ..core.configuration import Configuration
-from ..core.engine import DEFAULT_MAX_ROUNDS, run_execution
+from ..core.engine import DEFAULT_MAX_ROUNDS
+from ..core.runner import ConfigurationResult, execute_configuration, run_many
 from ..core.trace import Outcome
 from ..enumeration.polyhex import enumerate_connected_configurations
 
@@ -34,29 +30,6 @@ __all__ = [
     "verify_configurations",
     "verify_all_configurations",
 ]
-
-
-@dataclass(frozen=True)
-class ConfigurationResult:
-    """Outcome of one execution from one initial configuration."""
-
-    #: Canonical node tuple of the initial configuration (hashable, compact).
-    initial_nodes: Tuple[Tuple[int, int], ...]
-    #: Outcome of the execution.
-    outcome: Outcome
-    #: Number of rounds until termination (or until the failure was detected).
-    rounds: int
-    #: Total number of robot moves.
-    total_moves: int
-    #: Diameter of the initial configuration.
-    initial_diameter: int
-    #: Collision kind when the outcome is a collision.
-    collision_kind: Optional[str] = None
-
-    @property
-    def succeeded(self) -> bool:
-        """Whether this configuration gathered successfully."""
-        return self.outcome is Outcome.GATHERED
 
 
 @dataclass
@@ -136,32 +109,7 @@ def verify_configuration(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
 ) -> ConfigurationResult:
     """Run one execution from ``configuration`` and summarise its outcome."""
-    trace = run_execution(
-        configuration,
-        algorithm,
-        max_rounds=max_rounds,
-        record_rounds=False,
-    )
-    return ConfigurationResult(
-        initial_nodes=tuple((c.q, c.r) for c in configuration.sorted_nodes()),
-        outcome=trace.outcome,
-        rounds=trace.num_rounds,
-        total_moves=trace.total_moves,
-        initial_diameter=configuration.diameter(),
-        collision_kind=trace.collision_kind,
-    )
-
-
-def _verify_chunk(args: Tuple[str, List[Tuple[Tuple[int, int], ...]], int]) -> List[ConfigurationResult]:
-    """Worker entry point: verify a chunk of configurations (picklable payload)."""
-    algorithm_name, node_tuples, max_rounds = args
-    algorithm = create_algorithm(algorithm_name)
-    results = []
-    for nodes in node_tuples:
-        results.append(
-            verify_configuration(Configuration(nodes), algorithm, max_rounds=max_rounds)
-        )
-    return results
+    return execute_configuration(configuration, algorithm, max_rounds=max_rounds)
 
 
 def verify_configurations(
@@ -171,15 +119,13 @@ def verify_configurations(
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> VerificationReport:
     """Verify an explicit collection of initial configurations serially."""
-    configs = list(configurations)
-    report = VerificationReport(algorithm_name=algorithm.name)
-    for index, configuration in enumerate(configs):
-        report.results.append(
-            verify_configuration(configuration, algorithm, max_rounds=max_rounds)
-        )
-        if progress is not None:
-            progress(index + 1, len(configs))
-    return report
+    batch = run_many(
+        configurations,
+        algorithm=algorithm,
+        max_rounds=max_rounds,
+        progress=progress,
+    )
+    return VerificationReport(algorithm_name=algorithm.name, results=batch.results)
 
 
 def verify_all_configurations(
@@ -199,24 +145,16 @@ def verify_all_configurations(
     """
     if (algorithm is None) == (algorithm_name is None):
         raise ValueError("provide exactly one of algorithm / algorithm_name")
-
-    configurations = enumerate_connected_configurations(size)
-
-    if workers <= 1:
-        algo = algorithm if algorithm is not None else create_algorithm(algorithm_name)
-        return verify_configurations(configurations, algo, max_rounds=max_rounds)
-
-    if algorithm_name is None:
+    if workers > 1 and algorithm_name is None:
         raise ValueError("parallel verification requires algorithm_name (registry lookup)")
 
-    node_tuples = [tuple((c.q, c.r) for c in cfg.sorted_nodes()) for cfg in configurations]
-    chunks = [
-        (algorithm_name, node_tuples[i : i + chunk_size], max_rounds)
-        for i in range(0, len(node_tuples), chunk_size)
-    ]
-    workers = min(workers, os.cpu_count() or 1, len(chunks))
-    report = VerificationReport(algorithm_name=algorithm_name)
-    with multiprocessing.get_context("spawn").Pool(processes=workers) as pool:
-        for chunk_results in pool.imap(_verify_chunk, chunks):
-            report.results.extend(chunk_results)
-    return report
+    configurations = enumerate_connected_configurations(size)
+    batch = run_many(
+        configurations,
+        algorithm=algorithm,
+        algorithm_name=algorithm_name,
+        max_rounds=max_rounds,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    return VerificationReport(algorithm_name=batch.algorithm_name, results=batch.results)

@@ -14,6 +14,10 @@ Subcommands
 ``range1``
     Evaluate the candidate visibility-range-1 rule tables and run the
     rule-space search (experiment E3).
+``sweep``
+    Run an ablation grid — every algorithm × scheduler × round-budget cell —
+    over the exhaustive configuration set (or a sampled subset) through the
+    unified batch runner.
 """
 from __future__ import annotations
 
@@ -28,6 +32,7 @@ from .analysis.impossibility import default_gadget_suite, search_rule_space
 from .analysis.verification import verify_all_configurations, verify_configurations
 from .core.configuration import Configuration, hexagon, line
 from .core.engine import run_execution
+from .core.runner import run_sweep
 from .enumeration.polyhex import count_connected_configurations
 from .io.serialization import dumps, report_to_dict, trace_to_dict
 from .viz.ascii_art import render_trace
@@ -82,6 +87,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_r1 = sub.add_parser("range1", help="visibility-range-1 impossibility (experiment E3)")
     p_r1.add_argument("--max-nodes", type=int, default=5_000, help="search budget")
     p_r1.add_argument("--skip-search", action="store_true", help="only evaluate candidate tables")
+
+    p_sweep = sub.add_parser("sweep", help="algorithm × scheduler × max-rounds ablation grid")
+    p_sweep.add_argument(
+        "--algorithms",
+        default="shibata-visibility2",
+        help="comma-separated algorithm names (default: shibata-visibility2)",
+    )
+    p_sweep.add_argument(
+        "--schedulers",
+        default="fsync",
+        help="comma-separated scheduler specs, e.g. fsync,round-robin:2,random-subset:0.5:1",
+    )
+    p_sweep.add_argument(
+        "--max-rounds-grid",
+        default="1000",
+        help="comma-separated round budgets (default: 1000)",
+    )
+    p_sweep.add_argument("--size", type=int, default=7, help="number of robots (default 7)")
+    p_sweep.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        help="keep every N-th configuration of the enumeration (default 1 = all)",
+    )
+    p_sweep.add_argument("--workers", type=int, default=1)
+    p_sweep.add_argument("--json", action="store_true", help="emit the grid as JSON")
 
     return parser
 
@@ -151,6 +182,54 @@ def _cmd_range1(args: argparse.Namespace) -> int:
     return 0 if result.refuted else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    schedulers = [spec.strip() for spec in args.schedulers.split(",") if spec.strip()]
+    try:
+        budgets = [int(v) for v in args.max_rounds_grid.split(",") if v.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--max-rounds-grid must be comma-separated integers, got {args.max_rounds_grid!r}"
+        )
+    unknown = [name for name in algorithms if name not in available_algorithms()]
+    if unknown:
+        raise SystemExit(f"unknown algorithms: {unknown}; available: {available_algorithms()}")
+    if args.sample < 1:
+        raise SystemExit("--sample must be at least 1")
+    from .core.scheduler import scheduler_from_spec
+
+    for spec in schedulers:
+        try:
+            scheduler_from_spec(spec)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    from .enumeration.polyhex import enumerate_connected_configurations
+
+    configurations = enumerate_connected_configurations(args.size)[:: args.sample]
+    cells = run_sweep(
+        algorithms,
+        scheduler_specs=schedulers,
+        max_rounds_grid=budgets,
+        configurations=configurations,
+        workers=args.workers,
+    )
+    if args.json:
+        print(dumps([cell.summary() for cell in cells]))
+    else:
+        for cell in cells:
+            summary = cell.summary()
+            outcomes = ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items())
+            print(
+                f"{summary['algorithm']} | {summary['scheduler']} | "
+                f"max_rounds={summary['max_rounds']}: "
+                f"{summary['gathered']}/{summary['configurations']} gathered "
+                f"({summary['success_rate']:.3f}), mean_rounds={summary['mean_rounds']}, "
+                f"[{outcomes}] in {summary['seconds']}s"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the console script and ``python -m repro.cli``."""
     parser = build_parser()
@@ -160,6 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify": _cmd_verify,
         "trace": _cmd_trace,
         "range1": _cmd_range1,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -16,11 +16,21 @@ from .errors import (
     ReproError,
     SimulationLimitError,
 )
+from .runner import (
+    ConfigurationResult,
+    ExecutionBatch,
+    SweepCell,
+    execute_configuration,
+    iter_result_chunks,
+    run_many,
+    run_sweep,
+)
 from .scheduler import (
     FullySynchronousScheduler,
     RandomSubsetScheduler,
     RoundRobinScheduler,
     Scheduler,
+    scheduler_from_spec,
 )
 from .trace import ExecutionTrace, Outcome, RoundRecord
 from .view import View, all_views_of, view_of
@@ -29,8 +39,10 @@ __all__ = [
     "GATHERING_SIZE",
     "DEFAULT_MAX_ROUNDS",
     "Configuration",
+    "ConfigurationResult",
     "CollisionError",
     "DisconnectionError",
+    "ExecutionBatch",
     "ExecutionTrace",
     "FullySynchronousScheduler",
     "FunctionAlgorithm",
@@ -45,15 +57,21 @@ __all__ = [
     "Scheduler",
     "SimulationLimitError",
     "StayAlgorithm",
+    "SweepCell",
     "View",
     "all_views_of",
     "apply_moves",
     "compute_moves",
     "detect_collision",
+    "execute_configuration",
     "from_offsets",
     "hexagon",
+    "iter_result_chunks",
     "line",
     "run_execution",
+    "run_many",
+    "run_sweep",
+    "scheduler_from_spec",
     "step",
     "view_of",
 ]

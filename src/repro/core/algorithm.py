@@ -37,6 +37,12 @@ class GatheringAlgorithm(abc.ABC):
     #: Human-readable name used by the registry, the CLI and benchmark reports.
     name: str = "abstract"
 
+    #: Whether :meth:`compute` is a pure function of the view.  The model of
+    #: the paper requires determinism, and the engine's memoized kernel relies
+    #: on it; set to ``False`` only for experimental randomized algorithms, in
+    #: which case the engine falls back to the uncached reference path.
+    deterministic: bool = True
+
     @abc.abstractmethod
     def compute(self, view: View) -> Move:
         """Return the move of a robot whose Look phase produced ``view``."""
@@ -52,10 +58,11 @@ class FunctionAlgorithm(GatheringAlgorithm):
     """Wrap a plain function ``View -> Move`` as an algorithm object."""
 
     def __init__(self, func: Callable[[View], Move], visibility_range: int,
-                 name: str = "function") -> None:
+                 name: str = "function", deterministic: bool = True) -> None:
         self._func = func
         self.visibility_range = visibility_range
         self.name = name
+        self.deterministic = deterministic
 
     def compute(self, view: View) -> Move:
         return self._func(view)

@@ -15,27 +15,47 @@ values.  Under the deterministic FSYNC scheduler, revisiting a configuration
 (up to translation) proves a livelock, and quiescence (no robot wants to move)
 is a permanent fixpoint; the engine uses both facts for exact termination
 detection.
+
+Two kernels implement the same semantics:
+
+* ``kernel="packed"`` (the default) runs on plain coordinate sets and packed
+  integers from :mod:`repro.grid.packing`.  The Look phase computes one view
+  bitmask per robot in a single pass over the occupancy set, and the Compute
+  phase resolves each bitmask through a per-algorithm **decision cache** —
+  algorithms are deterministic functions of the view, so the cache is exact
+  and makes Compute amortized O(1) across an exhaustive sweep.
+* ``kernel="reference"`` is the original object-based path
+  (:class:`~repro.core.view.View` construction plus a fresh
+  ``algorithm.compute`` call per robot per round).  It is kept both as the
+  executable specification the packed kernel is tested against and as the
+  fallback for algorithms that declare themselves non-deterministic.
 """
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..grid.coords import Coord
 from ..grid.directions import Direction
+from ..grid.packing import offset_bit_table, pack_nodes
 from .algorithm import GatheringAlgorithm
 from .configuration import Configuration
 from .errors import CollisionError
 from .scheduler import FullySynchronousScheduler, Scheduler
 from .trace import ExecutionTrace, Outcome, RoundRecord
-from .view import view_of
+from .view import View, view_of
 
 __all__ = [
     "compute_moves",
+    "compute_moves_packed",
     "detect_collision",
+    "detect_collision_nodes",
     "apply_moves",
+    "apply_moves_nodes",
+    "decision_cache_for",
     "step",
     "run_execution",
     "DEFAULT_MAX_ROUNDS",
+    "KERNELS",
 ]
 
 #: Default round budget.  All successful executions over the 3652 connected
@@ -44,6 +64,98 @@ __all__ = [
 #: exact livelock detection is not available.
 DEFAULT_MAX_ROUNDS = 1000
 
+#: The available simulation kernels.
+KERNELS = ("packed", "reference")
+
+_NEIGHBOR_DELTAS: Tuple[Tuple[int, int], ...] = tuple(d.value for d in Direction)
+
+
+# ---------------------------------------------------------------------------
+# Decision cache: memoized Compute phase.
+# ---------------------------------------------------------------------------
+
+def decision_cache_for(algorithm: GatheringAlgorithm) -> Optional[Dict[int, Optional[Direction]]]:
+    """The decision cache of ``algorithm``: ``view bitmask -> move``.
+
+    The cache is attached to the algorithm instance so it persists across
+    executions (an exhaustive sweep reuses one algorithm object for thousands
+    of executions, and most views repeat).  Keys are view bitmasks for the
+    algorithm's own ``visibility_range``, so the mapping is exact: the same
+    key always denotes the same view.  Returns ``None`` for algorithms that
+    declare themselves non-deterministic, which must not be memoized.
+    """
+    if not getattr(algorithm, "deterministic", True):
+        return None
+    cache = getattr(algorithm, "_decision_cache", None)
+    if cache is None:
+        cache = {}
+        algorithm._decision_cache = cache
+    return cache
+
+
+def compute_moves_packed(
+    occupied: Iterable[Tuple[int, int]],
+    algorithm: GatheringAlgorithm,
+    activated: Optional[Set[Coord]] = None,
+) -> Dict[Coord, Direction]:
+    """Packed-kernel equivalent of :func:`compute_moves` on a plain node set.
+
+    Computes all view bitmasks in one pass over the occupancy set and resolves
+    each through the algorithm's decision cache.
+    """
+    positions = sorted(Coord(n[0], n[1]) for n in occupied)
+    cache = decision_cache_for(algorithm)
+    if cache is None:
+        moves: Dict[Coord, Direction] = {}
+        config = Configuration(positions)
+        for position in positions:
+            if activated is not None and position not in activated:
+                continue
+            decision = algorithm.compute(view_of(config, position, algorithm.visibility_range))
+            if decision is not None:
+                moves[position] = decision
+        return moves
+    return _packed_moves(positions, algorithm, cache, activated)
+
+
+def _packed_moves(
+    positions: List[Tuple[int, int]],
+    algorithm: GatheringAlgorithm,
+    cache: Dict[int, Optional[Direction]],
+    activated: Optional[Set[Coord]] = None,
+) -> Dict[Coord, Direction]:
+    """The hot Look–Compute loop: bitmask views + memoized decisions.
+
+    ``positions`` must be sorted; ``activated=None`` means every robot is
+    activated (the FSYNC fast path).
+    """
+    visibility_range = algorithm.visibility_range
+    table = offset_bit_table(visibility_range)
+    table_get = table.get
+    compute = algorithm.compute
+    moves: Dict[Coord, Direction] = {}
+    for pos in positions:
+        if activated is not None and pos not in activated:
+            continue
+        pq, pr = pos
+        bitmask = 0
+        for other in positions:
+            bit = table_get((other[0] - pq, other[1] - pr))
+            if bit is not None:
+                bitmask |= bit
+        try:
+            decision = cache[bitmask]
+        except KeyError:
+            decision = compute(View.from_bitmask(bitmask, visibility_range))
+            cache[bitmask] = decision
+        if decision is not None:
+            moves[pos] = decision
+    return moves
+
+
+# ---------------------------------------------------------------------------
+# Reference (View-object) Compute phase — the executable specification.
+# ---------------------------------------------------------------------------
 
 def compute_moves(
     configuration: Configuration,
@@ -67,17 +179,18 @@ def compute_moves(
     return moves
 
 
-def detect_collision(
-    configuration: Configuration, moves: Dict[Coord, Direction]
-) -> Optional[Tuple[str, Tuple[Coord, ...]]]:
-    """Check the three forbidden behaviours for a simultaneous move set.
+# ---------------------------------------------------------------------------
+# Collision detection and move application (shared by both kernels).
+# ---------------------------------------------------------------------------
 
-    Returns ``None`` if the move set is collision-free, otherwise a pair
-    ``(kind, nodes)`` where ``kind`` is ``"swap"``, ``"move-onto-staying"`` or
-    ``"same-target"`` and ``nodes`` identifies the offending nodes.
-    """
+def detect_collision_nodes(
+    occupied: Iterable[Tuple[int, int]], moves: Dict[Coord, Direction]
+) -> Optional[Tuple[str, Tuple[Coord, ...]]]:
+    """:func:`detect_collision` on a plain occupancy set (the packed path)."""
+    occupied_set = occupied if isinstance(occupied, (set, frozenset)) else set(occupied)
     targets: Dict[Coord, Coord] = {
-        source: source.step(direction) for source, direction in moves.items()
+        source: Coord(source[0] + direction.value[0], source[1] + direction.value[1])
+        for source, direction in moves.items()
     }
     # (a) swap along an edge.
     for source, target in targets.items():
@@ -86,7 +199,7 @@ def detect_collision(
             return ("swap", (source, target))
     # (b) moving onto a node whose occupant stays.
     for source, target in targets.items():
-        if configuration.occupied(target) and target not in targets:
+        if target in occupied_set and target not in targets:
             return ("move-onto-staying", (source, target))
     # (c) several robots moving onto the same node.
     seen: Dict[Coord, Coord] = {}
@@ -97,17 +210,36 @@ def detect_collision(
     return None
 
 
+def detect_collision(
+    configuration: Configuration, moves: Dict[Coord, Direction]
+) -> Optional[Tuple[str, Tuple[Coord, ...]]]:
+    """Check the three forbidden behaviours for a simultaneous move set.
+
+    Returns ``None`` if the move set is collision-free, otherwise a pair
+    ``(kind, nodes)`` where ``kind`` is ``"swap"``, ``"move-onto-staying"`` or
+    ``"same-target"`` and ``nodes`` identifies the offending nodes.
+    """
+    return detect_collision_nodes(configuration.nodes, moves)
+
+
+def apply_moves_nodes(
+    occupied: Iterable[Tuple[int, int]], moves: Dict[Coord, Direction]
+) -> FrozenSet[Coord]:
+    """The occupancy set after simultaneously applying a collision-free move set."""
+    nodes = set(occupied)
+    arrivals: List[Coord] = []
+    for source, direction in moves.items():
+        nodes.discard(source)
+        arrivals.append(Coord(source[0] + direction.value[0], source[1] + direction.value[1]))
+    nodes.update(arrivals)
+    return frozenset(nodes)
+
+
 def apply_moves(
     configuration: Configuration, moves: Dict[Coord, Direction]
 ) -> Configuration:
     """The configuration after simultaneously applying a collision-free move set."""
-    nodes = set(configuration.nodes)
-    arrivals: List[Coord] = []
-    for source, direction in moves.items():
-        nodes.discard(source)
-        arrivals.append(source.step(direction))
-    nodes.update(arrivals)
-    return Configuration(nodes)
+    return Configuration(apply_moves_nodes(configuration.nodes, moves))
 
 
 def step(
@@ -131,6 +263,28 @@ def step(
     return apply_moves(configuration, moves), moves
 
 
+def _is_connected_nodes(nodes: FrozenSet[Coord]) -> bool:
+    """Connectivity of a plain occupancy set (allocation-light DFS)."""
+    if len(nodes) <= 1:
+        return True
+    iterator = iter(nodes)
+    start = next(iterator)
+    seen = {start}
+    stack = [start]
+    while stack:
+        q, r = stack.pop()
+        for dq, dr in _NEIGHBOR_DELTAS:
+            nb = (q + dq, r + dr)
+            if nb in nodes and nb not in seen:
+                seen.add(nb)
+                stack.append(nb)
+    return len(seen) == len(nodes)
+
+
+# ---------------------------------------------------------------------------
+# Full executions.
+# ---------------------------------------------------------------------------
+
 def run_execution(
     initial: Configuration,
     algorithm: GatheringAlgorithm,
@@ -138,6 +292,7 @@ def run_execution(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_rounds: bool = True,
     require_connectivity: bool = True,
+    kernel: str = "packed",
 ) -> ExecutionTrace:
     """Run one full execution and classify its outcome.
 
@@ -158,7 +313,127 @@ def run_execution(
     require_connectivity:
         If ``True``, an execution stops with :attr:`Outcome.DISCONNECTED` as
         soon as the configuration splits into several components.
+    kernel:
+        ``"packed"`` (memoized bitmask kernel, the default) or
+        ``"reference"`` (original View-object path).  Both produce identical
+        traces for deterministic algorithms; non-deterministic algorithms are
+        always run on the reference kernel.
     """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; available: {KERNELS}")
+    if kernel == "reference" or not getattr(algorithm, "deterministic", True):
+        return _run_execution_reference(
+            initial, algorithm, scheduler, max_rounds, record_rounds, require_connectivity
+        )
+    return _run_execution_packed(
+        initial, algorithm, scheduler, max_rounds, record_rounds, require_connectivity
+    )
+
+
+def _run_execution_packed(
+    initial: Configuration,
+    algorithm: GatheringAlgorithm,
+    scheduler: Optional[Scheduler],
+    max_rounds: int,
+    record_rounds: bool,
+    require_connectivity: bool,
+) -> ExecutionTrace:
+    """The packed-state hot path (see the module docstring)."""
+    scheduler = scheduler or FullySynchronousScheduler()
+    scheduler.reset()
+    is_fsync = isinstance(scheduler, FullySynchronousScheduler)
+
+    cache = decision_cache_for(algorithm)
+    assert cache is not None  # run_execution dispatched deterministic algorithms here
+
+    nodes: FrozenSet[Coord] = initial.nodes
+    rounds: List[RoundRecord] = []
+    seen: Dict[int, int] = {pack_nodes(nodes): 0}
+    outcome = Outcome.ROUND_LIMIT
+    collision_kind: Optional[str] = None
+    cycle_start: Optional[int] = None
+    termination_round = max_rounds
+    total_moves = 0
+
+    for round_index in range(max_rounds):
+        positions = sorted(nodes)
+        if is_fsync:
+            activated: Optional[Set[Coord]] = None
+            moves = _packed_moves(positions, algorithm, cache)
+        else:
+            activated = scheduler.activated(round_index, positions)
+            moves = _packed_moves(positions, algorithm, cache, activated)
+
+        if record_rounds:
+            rounds.append(
+                RoundRecord(
+                    index=round_index,
+                    configuration=Configuration(positions),
+                    moves=dict(moves),
+                    activated=tuple(positions) if activated is None else tuple(sorted(activated)),
+                )
+            )
+
+        if not moves:
+            # Quiescence.  Under FSYNC this is permanent; under SSYNC it is
+            # only permanent when every robot was activated this round.
+            if is_fsync or activated == set(positions):
+                outcome = (
+                    Outcome.GATHERED
+                    if Configuration(positions).is_gathered()
+                    else Outcome.DEADLOCK
+                )
+                termination_round = round_index
+                break
+            continue
+
+        collision = detect_collision_nodes(nodes, moves)
+        if collision is not None:
+            outcome = Outcome.COLLISION
+            collision_kind = collision[0]
+            termination_round = round_index
+            break
+
+        nodes = apply_moves_nodes(nodes, moves)
+        total_moves += len(moves)
+
+        if require_connectivity and not _is_connected_nodes(nodes):
+            outcome = Outcome.DISCONNECTED
+            termination_round = round_index + 1
+            break
+
+        if is_fsync:
+            key = pack_nodes(nodes)
+            if key in seen:
+                outcome = Outcome.LIVELOCK
+                cycle_start = seen[key]
+                termination_round = round_index + 1
+                break
+            seen[key] = round_index + 1
+
+    return ExecutionTrace(
+        initial=initial,
+        final=Configuration(nodes),
+        outcome=outcome,
+        rounds=rounds,
+        termination_round=termination_round,
+        collision_kind=collision_kind,
+        cycle_start=cycle_start,
+        algorithm_name=algorithm.name,
+        scheduler_name=scheduler.name,
+        total_moves=total_moves,
+    )
+
+
+def _run_execution_reference(
+    initial: Configuration,
+    algorithm: GatheringAlgorithm,
+    scheduler: Optional[Scheduler],
+    max_rounds: int,
+    record_rounds: bool,
+    require_connectivity: bool,
+) -> ExecutionTrace:
+    """The original object-based execution loop (the seed engine semantics)."""
     scheduler = scheduler or FullySynchronousScheduler()
     scheduler.reset()
     is_fsync = isinstance(scheduler, FullySynchronousScheduler)

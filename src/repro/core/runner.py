@@ -1,0 +1,415 @@
+"""Unified batch execution: one subsystem for serial and parallel sweeps.
+
+Exhaustive verification (experiment E2), the CLI, the benchmark harness and
+ablation studies all need the same thing: *run one execution from each of many
+initial configurations and stream back compact per-configuration results*.
+This module is that subsystem.  It owns
+
+* :class:`ConfigurationResult` — the compact summary of one execution;
+* :func:`iter_result_chunks` — the streaming core, which executes
+  configurations chunk-wise either serially or over a multiprocessing pool
+  (one chunk of configurations per task, keeping the per-task payload large
+  enough to amortize process overhead);
+* :class:`ExecutionBatch` / :func:`run_many` — the collected form, with
+  aggregate accessors and wall-clock accounting;
+* :func:`run_sweep` — the ablation-grid API: the cross product of algorithms,
+  schedulers and round budgets over a common configuration set.
+
+Serial batches reuse one algorithm instance for every execution, so the
+engine's decision cache (see :mod:`repro.core.engine`) is shared across the
+whole sweep; parallel workers rebuild the algorithm from the registry once per
+chunk and amortize the cache within it.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..grid.coords import Coord
+from .algorithm import GatheringAlgorithm
+from .configuration import Configuration
+from .engine import DEFAULT_MAX_ROUNDS, run_execution
+from .scheduler import Scheduler, scheduler_from_spec
+from .trace import Outcome
+
+__all__ = [
+    "ConfigurationResult",
+    "ExecutionBatch",
+    "SweepCell",
+    "execute_configuration",
+    "iter_result_chunks",
+    "run_many",
+    "run_sweep",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Default number of configurations per streamed chunk / parallel task.
+DEFAULT_CHUNK_SIZE = 128
+
+NodeTuple = Tuple[Tuple[int, int], ...]
+ConfigurationLike = Union[Configuration, NodeTuple]
+
+
+@dataclass(frozen=True)
+class ConfigurationResult:
+    """Outcome of one execution from one initial configuration."""
+
+    #: Canonical node tuple of the initial configuration (hashable, compact).
+    initial_nodes: NodeTuple
+    #: Outcome of the execution.
+    outcome: Outcome
+    #: Number of rounds until termination (or until the failure was detected).
+    rounds: int
+    #: Total number of robot moves.
+    total_moves: int
+    #: Diameter of the initial configuration.
+    initial_diameter: int
+    #: Collision kind when the outcome is a collision.
+    collision_kind: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether this configuration gathered successfully."""
+        return self.outcome is Outcome.GATHERED
+
+
+def _as_configuration(item: ConfigurationLike) -> Configuration:
+    if isinstance(item, Configuration):
+        return item
+    return Configuration(item)
+
+
+def execute_configuration(
+    configuration: ConfigurationLike,
+    algorithm: GatheringAlgorithm,
+    scheduler: Optional[Scheduler] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    kernel: str = "packed",
+) -> ConfigurationResult:
+    """Run one execution and summarize its outcome compactly."""
+    configuration = _as_configuration(configuration)
+    trace = run_execution(
+        configuration,
+        algorithm,
+        scheduler=scheduler,
+        max_rounds=max_rounds,
+        record_rounds=False,
+        kernel=kernel,
+    )
+    return ConfigurationResult(
+        initial_nodes=tuple((c.q, c.r) for c in configuration.sorted_nodes()),
+        outcome=trace.outcome,
+        rounds=trace.num_rounds,
+        total_moves=trace.total_moves,
+        initial_diameter=configuration.diameter(),
+        collision_kind=trace.collision_kind,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streaming core.
+# ---------------------------------------------------------------------------
+
+_ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str]
+
+
+def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
+    """Worker entry point: execute one chunk of configurations.
+
+    The payload carries only picklable primitives (names, specs and node
+    tuples); the algorithm and scheduler are rebuilt here, once per chunk.
+    """
+    algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel = payload
+    from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+    algorithm = create_algorithm(algorithm_name)
+    scheduler = scheduler_from_spec(scheduler_spec)
+    return [
+        execute_configuration(
+            nodes, algorithm, scheduler=scheduler, max_rounds=max_rounds, kernel=kernel
+        )
+        for nodes in node_tuples
+    ]
+
+
+def _node_tuples(configurations: Iterable[ConfigurationLike]) -> List[NodeTuple]:
+    tuples: List[NodeTuple] = []
+    for item in configurations:
+        if isinstance(item, Configuration):
+            tuples.append(tuple((c.q, c.r) for c in item.sorted_nodes()))
+        else:
+            tuples.append(tuple((int(q), int(r)) for q, r in item))
+    return tuples
+
+
+def iter_result_chunks(
+    configurations: Iterable[ConfigurationLike],
+    algorithm: Optional[GatheringAlgorithm] = None,
+    algorithm_name: Optional[str] = None,
+    scheduler: Union[None, str, Scheduler] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    kernel: str = "packed",
+) -> Iterator[List[ConfigurationResult]]:
+    """Execute every configuration, yielding results chunk by chunk, in order.
+
+    Exactly one of ``algorithm`` / ``algorithm_name`` must be provided.  With
+    ``workers > 1`` the chunks are fanned out over a multiprocessing pool;
+    that path requires ``algorithm_name`` (algorithms are rebuilt from the
+    registry inside each worker) and, when a scheduler is wanted, a textual
+    scheduler spec (see :func:`~repro.core.scheduler.scheduler_from_spec`).
+    """
+    if (algorithm is None) == (algorithm_name is None):
+        raise ValueError("provide exactly one of algorithm / algorithm_name")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+
+    if workers <= 1:
+        if algorithm is None:
+            from ..algorithms.registry import create_algorithm  # late: import cycle
+
+            algorithm = create_algorithm(algorithm_name)
+        scheduler_obj = scheduler_from_spec(scheduler)
+        chunk: List[ConfigurationResult] = []
+        for item in configurations:
+            chunk.append(
+                execute_configuration(
+                    item,
+                    algorithm,
+                    scheduler=scheduler_obj,
+                    max_rounds=max_rounds,
+                    kernel=kernel,
+                )
+            )
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+        return
+
+    if algorithm_name is None:
+        raise ValueError("parallel execution requires algorithm_name (registry lookup)")
+    if isinstance(scheduler, Scheduler):
+        raise ValueError(
+            "parallel execution requires a scheduler spec string, not an instance"
+        )
+
+    node_tuples = _node_tuples(configurations)
+    payloads: List[_ChunkPayload] = [
+        (algorithm_name, scheduler, node_tuples[i : i + chunk_size], max_rounds, kernel)
+        for i in range(0, len(node_tuples), chunk_size)
+    ]
+    workers = min(workers, os.cpu_count() or 1, max(len(payloads), 1))
+    with multiprocessing.get_context("spawn").Pool(processes=workers) as pool:
+        for chunk_results in pool.imap(_execute_chunk, payloads):
+            yield chunk_results
+
+
+# ---------------------------------------------------------------------------
+# Collected batches.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecutionBatch:
+    """All results of one batch run, with aggregate accessors."""
+
+    #: Name of the algorithm that was executed.
+    algorithm_name: str
+    #: Scheduler spec (or name) the batch ran under.
+    scheduler_name: str = "fsync"
+    #: Round budget per execution.
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    #: Per-configuration results, in input order.
+    results: List[ConfigurationResult] = field(default_factory=list)
+    #: Wall-clock seconds spent executing the batch.
+    elapsed_seconds: float = 0.0
+    #: Number of worker processes used (1 = serial).
+    workers: int = 1
+
+    @property
+    def total(self) -> int:
+        """Number of configurations executed."""
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        """Number of configurations that gathered successfully."""
+        return sum(1 for r in self.results if r.succeeded)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of configurations that gathered successfully."""
+        return self.successes / self.total if self.total else 0.0
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Histogram of outcomes by name."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.outcome.value] = counts.get(result.outcome.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def throughput(self) -> float:
+        """Configurations per second (0.0 when no time was recorded)."""
+        return self.total / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+
+def run_many(
+    configurations: Iterable[ConfigurationLike],
+    algorithm: Optional[GatheringAlgorithm] = None,
+    algorithm_name: Optional[str] = None,
+    scheduler: Union[None, str, Scheduler] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    kernel: str = "packed",
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ExecutionBatch:
+    """Execute every configuration and collect the results into a batch.
+
+    ``progress`` is called as ``progress(done, total)`` after every completed
+    configuration (serial) or chunk (parallel).  Parameters are shared with
+    :func:`iter_result_chunks`.
+    """
+    config_list = list(configurations)
+    total = len(config_list)
+    if algorithm is not None:
+        resolved_name = algorithm.name
+    elif algorithm_name is not None:
+        resolved_name = algorithm_name
+    else:
+        resolved_name = ""
+
+    scheduler_name = (
+        scheduler.name if isinstance(scheduler, Scheduler) else (scheduler or "fsync")
+    )
+    batch = ExecutionBatch(
+        algorithm_name=resolved_name,
+        scheduler_name=scheduler_name,
+        max_rounds=max_rounds,
+        workers=max(workers, 1),
+    )
+
+    # Per-configuration progress granularity on the serial path matches the
+    # seed harness; the parallel path reports per chunk.
+    effective_chunk = 1 if (workers <= 1 and progress is not None) else chunk_size
+
+    start = time.perf_counter()
+    for chunk in iter_result_chunks(
+        config_list,
+        algorithm=algorithm,
+        algorithm_name=algorithm_name,
+        scheduler=scheduler,
+        max_rounds=max_rounds,
+        workers=workers,
+        chunk_size=effective_chunk,
+        kernel=kernel,
+    ):
+        batch.results.extend(chunk)
+        if progress is not None:
+            progress(len(batch.results), total)
+    batch.elapsed_seconds = time.perf_counter() - start
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# Ablation sweeps.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Aggregate result of one (algorithm, scheduler, round budget) grid cell."""
+
+    algorithm_name: str
+    scheduler_spec: str
+    max_rounds: int
+    total: int
+    gathered: int
+    success_rate: float
+    outcomes: Tuple[Tuple[str, int], ...]
+    mean_rounds: float
+    elapsed_seconds: float
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict form for tabulation and JSON output."""
+        return {
+            "algorithm": self.algorithm_name,
+            "scheduler": self.scheduler_spec,
+            "max_rounds": self.max_rounds,
+            "configurations": self.total,
+            "gathered": self.gathered,
+            "success_rate": round(self.success_rate, 6),
+            "outcomes": dict(self.outcomes),
+            "mean_rounds": round(self.mean_rounds, 3),
+            "seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+def run_sweep(
+    algorithm_names: Sequence[str],
+    scheduler_specs: Sequence[str] = ("fsync",),
+    max_rounds_grid: Sequence[int] = (DEFAULT_MAX_ROUNDS,),
+    configurations: Optional[Iterable[ConfigurationLike]] = None,
+    size: int = 7,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[SweepCell]:
+    """Run the full algorithm × scheduler × round-budget grid.
+
+    Every cell executes the same configuration set (the exhaustive enumeration
+    of ``size`` robots unless an explicit collection is given) and reduces to
+    a :class:`SweepCell`.  ``progress`` is called per completed cell.
+    """
+    if configurations is None:
+        from ..enumeration.polyhex import (  # late: avoids an import cycle
+            enumerate_connected_configurations,
+        )
+
+        config_list: List[ConfigurationLike] = list(
+            enumerate_connected_configurations(size)
+        )
+    else:
+        config_list = list(configurations)
+
+    cells: List[SweepCell] = []
+    grid = [
+        (name, spec, budget)
+        for name in algorithm_names
+        for spec in scheduler_specs
+        for budget in max_rounds_grid
+    ]
+    for index, (name, spec, budget) in enumerate(grid):
+        batch = run_many(
+            config_list,
+            algorithm_name=name,
+            scheduler=spec,
+            max_rounds=budget,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        successful_rounds = [r.rounds for r in batch.results if r.succeeded]
+        cells.append(
+            SweepCell(
+                algorithm_name=name,
+                scheduler_spec=spec,
+                max_rounds=budget,
+                total=batch.total,
+                gathered=batch.successes,
+                success_rate=batch.success_rate,
+                outcomes=tuple(sorted(batch.outcome_counts().items())),
+                mean_rounds=(
+                    sum(successful_rounds) / len(successful_rounds)
+                    if successful_rounds
+                    else 0.0
+                ),
+                elapsed_seconds=batch.elapsed_seconds,
+            )
+        )
+        if progress is not None:
+            progress(index + 1, len(grid))
+    return cells

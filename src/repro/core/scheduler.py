@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from ..grid.coords import Coord
 
@@ -25,6 +25,7 @@ __all__ = [
     "FullySynchronousScheduler",
     "RoundRobinScheduler",
     "RandomSubsetScheduler",
+    "scheduler_from_spec",
 ]
 
 
@@ -104,3 +105,47 @@ class RandomSubsetScheduler(Scheduler):
         if not chosen and ordered:
             chosen = {ordered[self._rng.randrange(len(ordered))]}
         return chosen
+
+
+def scheduler_from_spec(spec: Union[None, str, Scheduler]) -> Scheduler:
+    """Build a scheduler from a compact textual specification.
+
+    Specs are picklable strings, which lets the batch runner ship scheduler
+    choices to multiprocessing workers and the CLI accept them as flags:
+
+    * ``None`` or ``"fsync"`` — :class:`FullySynchronousScheduler`;
+    * ``"round-robin"`` or ``"round-robin:K"`` — :class:`RoundRobinScheduler`
+      activating ``K`` robots per round (default 1);
+    * ``"random-subset"``, ``"random-subset:P"`` or ``"random-subset:P:SEED"``
+      — :class:`RandomSubsetScheduler` with activation probability ``P``
+      (default 0.5) and the given seed (default 0).
+
+    A :class:`Scheduler` instance is passed through unchanged.
+    """
+    if spec is None:
+        return FullySynchronousScheduler()
+    if isinstance(spec, Scheduler):
+        return spec
+    name, _, rest = spec.partition(":")
+    args = rest.split(":") if rest else []
+    try:
+        if name == "fsync":
+            if args:
+                raise ValueError("fsync takes no parameters")
+            return FullySynchronousScheduler()
+        if name == "round-robin":
+            if len(args) > 1:
+                raise ValueError("round-robin takes at most one parameter (K)")
+            return RoundRobinScheduler(robots_per_round=int(args[0]) if args else 1)
+        if name == "random-subset":
+            if len(args) > 2:
+                raise ValueError("random-subset takes at most two parameters (P, SEED)")
+            probability = float(args[0]) if args else 0.5
+            seed = int(args[1]) if len(args) > 1 else 0
+            return RandomSubsetScheduler(probability=probability, seed=seed)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid scheduler spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"unknown scheduler {name!r}; available: fsync, round-robin[:K], "
+        f"random-subset[:P[:SEED]]"
+    )

@@ -21,6 +21,7 @@ from ..grid.labels import (
     label_of_offset,
     offset_of_label,
 )
+from ..grid.packing import pack_offsets, unpack_offsets
 
 __all__ = ["View", "view_of", "all_views_of"]
 
@@ -50,6 +51,16 @@ class View:
         self._offsets: FrozenSet[Coord] = offsets
         self._range = int(visibility_range)
         self._labels: FrozenSet[Label] = frozenset(label_of_offset(o) for o in offsets)
+
+    # ------------------------------------------------------------ packed form
+    @classmethod
+    def from_bitmask(cls, bitmask: int, visibility_range: int) -> "View":
+        """Rebuild a view from its packed bitmask (see :mod:`repro.grid.packing`)."""
+        return cls(unpack_offsets(bitmask, visibility_range), visibility_range)
+
+    def bitmask(self) -> int:
+        """Packed bitmask of this view over the canonical visibility disk."""
+        return pack_offsets(self._offsets, self._range)
 
     # ----------------------------------------------------------------- basics
     @property
