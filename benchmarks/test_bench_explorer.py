@@ -1,0 +1,130 @@
+"""Experiment E10 (extension, ours) — transition-graph explorer throughput.
+
+Benchmarks the model-checking subsystem end to end over the full 3652-root
+state space: FSYNC graph construction (functional graph, one edge per
+vertex), adversarial SSYNC construction (one edge per distinct activation
+effect), the classification pass and witness extraction.  The FSYNC census is
+asserted to reconcile exactly with the exhaustive per-run sweep — the same
+cross-check the tier-1 tests pin, here at benchmark scale — and the measured
+rates are persisted to ``BENCH_explorer.json`` so later PRs can track the
+explorer's performance trajectory alongside the kernel baseline.
+"""
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.model_checking import reconcile_with_sweep
+from repro.explore import explore
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_explorer.json"
+
+#: Timings collected by the explorer benchmarks; the SSYNC benchmark (the
+#: last one in file order) persists them once both have passed.
+_EXPLORER_TIMINGS = {}
+
+
+def _timed_explore(mode):
+    start = time.perf_counter()
+    report = explore(algorithm_name="shibata-visibility2", size=7, mode=mode)
+    return report, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="E10-explorer")
+def test_explorer_fsync_full_state_space(benchmark, paper_algorithm_report,
+                                         print_table, bench_timings):
+    report, total_seconds = _timed_explore("fsync")
+
+    # Correctness first: the FSYNC classification must reconcile exactly with
+    # the session's exhaustive sweep (1895/1365/392 over 3652).
+    reconciliation = reconcile_with_sweep(report, paper_algorithm_report)
+    assert reconciliation["matches"], reconciliation["differences"]
+    assert not report.graph.truncated
+
+    benchmark.pedantic(lambda: _timed_explore("fsync"), rounds=1, iterations=1)
+
+    _EXPLORER_TIMINGS.update(
+        {
+            "fsync_nodes": report.graph.num_nodes,
+            "fsync_edges": report.graph.num_edges,
+            "fsync_build_seconds": round(report.graph.elapsed_seconds, 4),
+            "fsync_build_nodes_per_second": round(report.graph.throughput(), 1),
+            "fsync_classify_seconds": round(report.classify_seconds, 4),
+            "fsync_witness_seconds": round(report.witness_seconds, 4),
+            "fsync_total_seconds": round(total_seconds, 4),
+            "fsync_root_census": dict(report.root_census),
+        }
+    )
+    bench_timings["explorer_fsync_seconds"] = round(total_seconds, 4)
+    print_table(
+        "E10: FSYNC transition-graph exploration (3652 roots)",
+        [
+            {
+                "nodes": report.graph.num_nodes,
+                "edges": report.graph.num_edges,
+                "build s": round(report.graph.elapsed_seconds, 3),
+                "classify s": round(report.classify_seconds, 3),
+                "nodes/s": round(report.graph.throughput(), 1),
+            }
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="E10-explorer")
+def test_explorer_ssync_full_state_space(benchmark, print_table, bench_timings):
+    report, total_seconds = _timed_explore("ssync")
+
+    # The adversarial census: every class present must come with a witness.
+    assert not report.graph.truncated
+    assert sum(report.root_census.values()) == 3652
+    failing = set(report.root_census) - {"gathered", "safe"}
+    assert failing <= set(report.witnesses)
+    for witness in report.witnesses.values():
+        assert witness.num_rounds >= 0
+
+    benchmark.pedantic(lambda: _timed_explore("ssync"), rounds=1, iterations=1)
+
+    _EXPLORER_TIMINGS.update(
+        {
+            "ssync_nodes": report.graph.num_nodes,
+            "ssync_edges": report.graph.num_edges,
+            "ssync_build_seconds": round(report.graph.elapsed_seconds, 4),
+            "ssync_build_nodes_per_second": round(report.graph.throughput(), 1),
+            "ssync_classify_seconds": round(report.classify_seconds, 4),
+            "ssync_witness_seconds": round(report.witness_seconds, 4),
+            "ssync_total_seconds": round(total_seconds, 4),
+            "ssync_root_census": dict(report.root_census),
+        }
+    )
+    bench_timings["explorer_ssync_seconds"] = round(total_seconds, 4)
+    print_table(
+        "E10: SSYNC transition-graph exploration (3652 roots)",
+        [
+            {
+                "nodes": report.graph.num_nodes,
+                "edges": report.graph.num_edges,
+                "build s": round(report.graph.elapsed_seconds, 3),
+                "classify s": round(report.classify_seconds, 3),
+                "nodes/s": round(report.graph.throughput(), 1),
+                "census": ", ".join(
+                    f"{k}={v}" for k, v in sorted(report.root_census.items())
+                ),
+            }
+        ],
+    )
+
+    # Persist the explorer baseline (both E10 benchmarks have passed if we
+    # reach this line under ``pytest -x``; a lone SSYNC run still records a
+    # useful partial baseline).
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": round(time.time(), 1),
+        "timings": dict(sorted(_EXPLORER_TIMINGS.items())),
+    }
+    try:
+        _BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass

@@ -61,6 +61,14 @@ from .enumeration import (
     count_connected_configurations,
     enumerate_connected_configurations,
 )
+from .explore import (
+    ExplorationReport,
+    TransitionGraph,
+    Witness,
+    build_transition_graph,
+    explore,
+    replay_witness,
+)
 from .grid import Coord, Direction, distance, neighbors
 
 __version__ = "1.0.0"
@@ -75,6 +83,7 @@ __all__ = [
     "Direction",
     "ExecutionBatch",
     "ExecutionTrace",
+    "ExplorationReport",
     "FullVisibilityGreedyAlgorithm",
     "FullySynchronousScheduler",
     "FunctionAlgorithm",
@@ -88,15 +97,20 @@ __all__ = [
     "ShibataGatheringAlgorithm",
     "StayAlgorithm",
     "SweepCell",
+    "TransitionGraph",
     "VerificationReport",
     "View",
+    "Witness",
     "available_algorithms",
+    "build_transition_graph",
     "count_connected_configurations",
     "create_algorithm",
     "determine_base_label",
     "distance",
     "enumerate_connected_configurations",
+    "explore",
     "from_offsets",
+    "replay_witness",
     "hexagon",
     "line",
     "neighbors",

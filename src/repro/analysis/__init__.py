@@ -7,6 +7,7 @@ from .impossibility import (
     simulate_with_partial_table,
 )
 from .metrics import ExecutionMetrics, compute_metrics, diameter_trajectory
+from .model_checking import reconcile_with_sweep, sweep_equivalent_census
 from .statistics import (
     describe,
     moves_by_diameter,
@@ -34,7 +35,9 @@ __all__ = [
     "diameter_trajectory",
     "moves_by_diameter",
     "outcome_by_diameter",
+    "reconcile_with_sweep",
     "rounds_by_diameter",
+    "sweep_equivalent_census",
     "search_rule_space",
     "simulate_with_partial_table",
     "success_table",

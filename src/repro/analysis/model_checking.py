@@ -1,0 +1,85 @@
+"""Reconciling transition-graph model checking with per-run simulation.
+
+The explorer (:mod:`repro.explore`) and the exhaustive sweep
+(:mod:`repro.analysis.verification`) look at the same object from two sides:
+under FSYNC the transition graph is functional, so the class of an initial
+vertex must coincide with the engine's per-run outcome.  This module performs
+that cross-check — it is both a correctness harness for the new subsystem and
+the bridge that lets sweep-driven workflows consume explorer output.
+
+The mapping between the two vocabularies:
+
+===================  =========================================
+explorer class        engine outcome
+===================  =========================================
+gathered, safe        ``Outcome.GATHERED``
+deadlock              ``Outcome.DEADLOCK``
+livelock              ``Outcome.LIVELOCK``
+collision             ``Outcome.COLLISION``
+disconnected          ``Outcome.DISCONNECTED``
+===================  =========================================
+
+(``gathered`` and ``safe`` both map to a gathering run: the engine does not
+distinguish "already gathered" from "gathers eventually".)
+"""
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from ..core.runner import ExecutionBatch
+from .verification import VerificationReport
+
+__all__ = ["sweep_equivalent_census", "reconcile_with_sweep"]
+
+#: Explorer classes folded into the engine-outcome vocabulary.
+_CLASS_TO_OUTCOME = {
+    "gathered": "gathered",
+    "safe": "gathered",
+    "deadlock": "deadlock",
+    "livelock": "livelock",
+    "collision": "collision",
+    "disconnected": "disconnected",
+    "unknown": "unknown",
+}
+
+
+def sweep_equivalent_census(root_census: Mapping[str, int]) -> Dict[str, int]:
+    """Fold an explorer root census into engine-outcome counts."""
+    folded: Dict[str, int] = {}
+    for cls, count in root_census.items():
+        outcome = _CLASS_TO_OUTCOME[cls]
+        folded[outcome] = folded.get(outcome, 0) + count
+    return dict(sorted(folded.items()))
+
+
+def reconcile_with_sweep(
+    exploration,
+    sweep: Union[VerificationReport, ExecutionBatch],
+) -> Dict[str, object]:
+    """Cross-check an FSYNC exploration against an exhaustive sweep.
+
+    ``exploration`` is a :class:`repro.explore.ExplorationReport` built in
+    FSYNC mode over the same initial configurations the sweep executed.
+    Returns a dict with both censuses and their differences; ``"matches"`` is
+    ``True`` exactly when every outcome count agrees.
+    """
+    if exploration.graph.mode != "fsync":
+        raise ValueError(
+            "reconciliation is defined for FSYNC explorations (the sweep runs "
+            f"one schedule per configuration), got mode {exploration.graph.mode!r}"
+        )
+    explorer_census = sweep_equivalent_census(exploration.root_census)
+    sweep_census = dict(sorted(sweep.outcome_counts().items()))
+    outcomes = sorted(set(explorer_census) | set(sweep_census))
+    differences = {
+        outcome: (explorer_census.get(outcome, 0), sweep_census.get(outcome, 0))
+        for outcome in outcomes
+        if explorer_census.get(outcome, 0) != sweep_census.get(outcome, 0)
+    }
+    return {
+        "matches": not differences,
+        "explorer": explorer_census,
+        "sweep": sweep_census,
+        "differences": differences,
+        "configurations": len(exploration.graph.roots),
+    }

@@ -18,6 +18,11 @@ Subcommands
     Run an ablation grid — every algorithm × scheduler × round-budget cell —
     over the exhaustive configuration set (or a sampled subset) through the
     unified batch runner.
+``explore``
+    Exhaustive transition-graph model checking: classify every reachable
+    configuration as gathered/safe/deadlock/livelock/collision/disconnected
+    under FSYNC or adversarial SSYNC edges, and print one minimal
+    counterexample trace per failing class.
 """
 from __future__ import annotations
 
@@ -34,8 +39,9 @@ from .core.configuration import Configuration, hexagon, line
 from .core.engine import run_execution
 from .core.runner import run_sweep
 from .enumeration.polyhex import count_connected_configurations
-from .io.serialization import dumps, report_to_dict, trace_to_dict
-from .viz.ascii_art import render_trace
+from .explore import MODES, explore
+from .io.serialization import dumps, exploration_to_dict, report_to_dict, trace_to_dict
+from .viz.ascii_art import render_trace, render_witness
 
 __all__ = ["main", "build_parser"]
 
@@ -113,6 +119,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--workers", type=int, default=1)
     p_sweep.add_argument("--json", action="store_true", help="emit the grid as JSON")
+
+    p_explore = sub.add_parser(
+        "explore", help="exhaustive transition-graph model checking"
+    )
+    p_explore.add_argument(
+        "--algorithm",
+        default="shibata-visibility2",
+        choices=available_algorithms(),
+        help="algorithm whose rules define the transition edges",
+    )
+    p_explore.add_argument(
+        "--mode",
+        default="fsync",
+        choices=MODES,
+        help="edge semantics: fsync (one edge per vertex) or ssync "
+        "(one edge per adversarial activation choice)",
+    )
+    p_explore.add_argument("--size", type=int, default=7, help="number of robots (default 7)")
+    p_explore.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="stop after expanding this many vertices (default: exhaustive)",
+    )
+    p_explore.add_argument("--workers", type=int, default=1)
+    p_explore.add_argument(
+        "--no-witnesses", action="store_true", help="skip counterexample extraction"
+    )
+    p_explore.add_argument(
+        "--include-nodes",
+        action="store_true",
+        help="with --json: include the per-vertex classification (large)",
+    )
+    p_explore.add_argument("--ascii", action="store_true", help="ASCII-only symbols")
+    p_explore.add_argument("--json", action="store_true", help="emit the report as JSON")
 
     return parser
 
@@ -230,6 +271,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    if args.max_nodes is not None and args.max_nodes < 1:
+        raise SystemExit("--max-nodes must be at least 1")
+    report = explore(
+        algorithm_name=args.algorithm,
+        size=args.size,
+        mode=args.mode,
+        max_nodes=args.max_nodes,
+        workers=args.workers,
+        with_witnesses=not args.no_witnesses,
+    )
+    if args.json:
+        print(
+            dumps(
+                exploration_to_dict(
+                    report,
+                    include_witnesses=not args.no_witnesses,
+                    include_nodes=args.include_nodes,
+                )
+            )
+        )
+    else:
+        for key, value in report.summary().items():
+            print(f"{key}: {value}")
+        for kind, witness in sorted(report.witnesses.items()):
+            print(f"\n=== minimal {kind} witness ({witness.num_rounds} round(s)) ===")
+            print(render_witness(witness, unicode_symbols=not args.ascii))
+    return 0 if report.all_roots_gather else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the console script and ``python -m repro.cli``."""
     parser = build_parser()
@@ -240,6 +311,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "range1": _cmd_range1,
         "sweep": _cmd_sweep,
+        "explore": _cmd_explore,
     }
     return handlers[args.command](args)
 

@@ -47,12 +47,14 @@ from .view import View, view_of
 __all__ = [
     "compute_moves",
     "compute_moves_packed",
+    "move_intents",
     "detect_collision",
     "detect_collision_nodes",
     "apply_moves",
     "apply_moves_nodes",
     "decision_cache_for",
     "step",
+    "step_nodes",
     "run_execution",
     "DEFAULT_MAX_ROUNDS",
     "KERNELS",
@@ -151,6 +153,43 @@ def _packed_moves(
         if decision is not None:
             moves[pos] = decision
     return moves
+
+
+def move_intents(
+    occupied: Iterable[Tuple[int, int]], algorithm: GatheringAlgorithm
+) -> Dict[Coord, Direction]:
+    """The full-activation move intents of a configuration.
+
+    Because an algorithm is a deterministic function of each robot's view, the
+    moves under *any* activation subset ``A`` are exactly the restriction of
+    this mapping to ``A``: a robot outside ``A`` stays, a robot inside ``A``
+    does what it would do under full activation.  This is the foundation of the
+    transition-graph explorer (:mod:`repro.explore`), which enumerates SSYNC
+    successors as subsets of the intent set rather than all ``2^n`` activation
+    subsets.
+    """
+    return compute_moves_packed(occupied, algorithm)
+
+
+def step_nodes(
+    occupied: Iterable[Tuple[int, int]],
+    algorithm: GatheringAlgorithm,
+    activated: Optional[Set[Coord]] = None,
+) -> Tuple[FrozenSet[Coord], Dict[Coord, Direction], Optional[Tuple[str, Tuple[Coord, ...]]]]:
+    """One synchronous round on a plain node set under an activation subset.
+
+    The step-by-activation-set API of the packed kernel: no
+    :class:`~repro.core.configuration.Configuration` objects, no scheduler.
+    Returns ``(next_nodes, moves, collision)``; when ``collision`` is not
+    ``None`` the move set is forbidden and ``next_nodes`` is the *unchanged*
+    occupancy set (the round does not happen).
+    """
+    nodes = frozenset(Coord(n[0], n[1]) for n in occupied)
+    moves = compute_moves_packed(nodes, algorithm, activated)
+    collision = detect_collision_nodes(nodes, moves)
+    if collision is not None:
+        return nodes, moves, collision
+    return apply_moves_nodes(nodes, moves), moves, None
 
 
 # ---------------------------------------------------------------------------

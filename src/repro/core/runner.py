@@ -41,6 +41,7 @@ __all__ = [
     "SweepCell",
     "execute_configuration",
     "iter_result_chunks",
+    "run_chunked_tasks",
     "run_many",
     "run_sweep",
     "DEFAULT_CHUNK_SIZE",
@@ -112,6 +113,40 @@ def execute_configuration(
 # ---------------------------------------------------------------------------
 # Streaming core.
 # ---------------------------------------------------------------------------
+
+def run_chunked_tasks(
+    payloads: Sequence,
+    worker: Callable,
+    workers: int = 1,
+    pool=None,
+) -> Iterator:
+    """Yield ``worker(payload)`` for every payload, in order.
+
+    The shared fan-out primitive of the batch runner and the transition-graph
+    explorer (:mod:`repro.explore`): with ``workers <= 1`` the payloads are
+    processed inline; otherwise they are distributed over a spawn-context
+    multiprocessing pool.  ``worker`` must be a module-level function and the
+    payloads picklable primitives (the spawn context re-imports the package in
+    each child).
+
+    Callers that fan out repeatedly (the explorer expands one BFS level per
+    call) pass a ``pool`` they own so spawn startup is paid once; it is left
+    open for them to close.  Without ``pool`` a fresh one is created and torn
+    down around this call.
+    """
+    if pool is not None:
+        for result in pool.imap(worker, payloads):
+            yield result
+        return
+    if workers <= 1:
+        for payload in payloads:
+            yield worker(payload)
+        return
+    workers = min(workers, os.cpu_count() or 1, max(len(payloads), 1))
+    with multiprocessing.get_context("spawn").Pool(processes=workers) as created:
+        for result in created.imap(worker, payloads):
+            yield result
+
 
 _ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str]
 
@@ -204,10 +239,7 @@ def iter_result_chunks(
         (algorithm_name, scheduler, node_tuples[i : i + chunk_size], max_rounds, kernel)
         for i in range(0, len(node_tuples), chunk_size)
     ]
-    workers = min(workers, os.cpu_count() or 1, max(len(payloads), 1))
-    with multiprocessing.get_context("spawn").Pool(processes=workers) as pool:
-        for chunk_results in pool.imap(_execute_chunk, payloads):
-            yield chunk_results
+    yield from run_chunked_tasks(payloads, _execute_chunk, workers=workers)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,231 @@
+"""Reachability and SCC analysis of a transition graph.
+
+Given an explored :class:`~repro.explore.transitions.TransitionGraph`, this
+module answers the model-checking questions per vertex:
+
+* **gathered** — the vertex is quiescent and satisfies the gathering
+  condition (terminal success);
+* **deadlock** — the vertex is quiescent but not gathered, or some schedule
+  reaches such a vertex (no progress is possible once there);
+* **livelock** — some schedule reaches a cycle of genuine moves that avoids
+  every gathered vertex (the execution can be driven around it forever);
+* **collision** / **disconnected** — some schedule commits a forbidden
+  behaviour / splits the swarm;
+* **safe** — none of the above: every maximal path reaches a gathered vertex;
+* **unknown** — the verdict depends on vertices beyond the exploration budget
+  (only present in truncated graphs).
+
+Under FSYNC the graph is functional (one successor per vertex), every flag is
+exclusive and the classification of an initial configuration coincides with
+the engine's per-run outcome — which is exactly what the reconciliation test
+against the exhaustive sweep checks.  Under SSYNC several flags can hold at
+once; the reported class is the most severe one in the order collision >
+disconnected > deadlock > livelock.
+
+Cycles are found with an **iterative** Tarjan SCC pass (the graph has
+thousands of vertices and Python's recursion limit is not a graph invariant);
+an SCC is cyclic when it has more than one vertex or a self-loop.  Because
+terminal vertices have no outgoing edges, a cyclic SCC can never contain a
+gathered vertex, so "reachable cycle avoiding gathered states" reduces to
+"reachable cyclic SCC".
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .transitions import (
+    COLLISION_SINK,
+    DISCONNECT_SINK,
+    TERMINAL_DEADLOCK,
+    TERMINAL_GATHERED,
+    TransitionGraph,
+)
+
+__all__ = [
+    "CLASSES",
+    "Classification",
+    "strongly_connected_components",
+    "classify",
+]
+
+#: All possible vertex classes, in report order.
+CLASSES = (
+    "gathered",
+    "safe",
+    "deadlock",
+    "livelock",
+    "collision",
+    "disconnected",
+    "unknown",
+)
+
+#: Severity order used to pick the reported class when several failure modes
+#: are reachable from one vertex (SSYNC only; FSYNC flags are exclusive).
+_FAILURE_PRIORITY = ("collision", "disconnected", "deadlock", "livelock", "unknown")
+
+
+@dataclass
+class Classification:
+    """Per-vertex verdicts of one analysis pass."""
+
+    #: Mode the graph was built under (``"fsync"`` or ``"ssync"``).
+    mode: str
+    #: The reported class of every discovered vertex.
+    node_class: Dict[int, str] = field(default_factory=dict)
+    #: Vertices from which each failure kind is reachable (superset of the
+    #: vertices reported as that class).
+    can_reach: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    #: Vertices from which a gathered terminal is reachable.
+    can_gather: FrozenSet[int] = frozenset()
+    #: Vertices lying on a cycle of genuine moves (members of cyclic SCCs).
+    cyclic_nodes: FrozenSet[int] = frozenset()
+    #: Whether the underlying graph was truncated by the node budget.
+    truncated: bool = False
+
+    def counts(self, nodes: Optional[Iterable[int]] = None) -> Dict[str, int]:
+        """Histogram of classes, over all vertices or a given subset."""
+        counts = {name: 0 for name in CLASSES}
+        if nodes is None:
+            for cls in self.node_class.values():
+                counts[cls] += 1
+        else:
+            for packed in nodes:
+                counts[self.node_class[packed]] += 1
+        return {name: count for name, count in counts.items() if count}
+
+
+def strongly_connected_components(
+    vertices: Iterable[int], adjacency: Dict[int, Tuple[int, ...]]
+) -> List[Tuple[int, ...]]:
+    """Tarjan's SCC algorithm, iterative (explicit stack, no recursion)."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[Tuple[int, ...]] = []
+    counter = 0
+
+    for root in vertices:
+        if root in index_of:
+            continue
+        # Each work item is (vertex, iteration position into its successors).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            vertex, position = work.pop()
+            if position == 0:
+                index_of[vertex] = lowlink[vertex] = counter
+                counter += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            successors = adjacency.get(vertex, ())
+            recurse = False
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if successor not in index_of:
+                    work.append((vertex, position))
+                    work.append((successor, 0))
+                    recurse = True
+                    break
+                if successor in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], index_of[successor])
+            if recurse:
+                continue
+            if lowlink[vertex] == index_of[vertex]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(tuple(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+    return components
+
+
+def _backward_closure(
+    sources: Iterable[int], reverse: Dict[int, List[int]]
+) -> FrozenSet[int]:
+    """All vertices from which some vertex of ``sources`` is reachable."""
+    seen: Set[int] = set(sources)
+    frontier: List[int] = list(seen)
+    while frontier:
+        vertex = frontier.pop()
+        for predecessor in reverse.get(vertex, ()):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                frontier.append(predecessor)
+    return frozenset(seen)
+
+
+def classify(graph: TransitionGraph) -> Classification:
+    """Classify every discovered vertex of ``graph``.
+
+    The pass is linear in the size of the graph: one reverse-adjacency build,
+    one backward reachability sweep per failure kind, and one iterative Tarjan
+    pass for the cycles.
+    """
+    reverse: Dict[int, List[int]] = {}
+    forward: Dict[int, Tuple[int, ...]] = {}
+    collision_sources: List[int] = []
+    disconnect_sources: List[int] = []
+    for source, edges in graph.edges.items():
+        real_targets: List[int] = []
+        for _, destination in edges:
+            if destination == COLLISION_SINK:
+                collision_sources.append(source)
+            elif destination == DISCONNECT_SINK:
+                disconnect_sources.append(source)
+            else:
+                real_targets.append(destination)
+                reverse.setdefault(destination, []).append(source)
+        forward[source] = tuple(real_targets)
+
+    terminal_gathered = [p for p, kind in graph.terminal.items() if kind == TERMINAL_GATHERED]
+    terminal_deadlock = [p for p, kind in graph.terminal.items() if kind == TERMINAL_DEADLOCK]
+
+    components = strongly_connected_components(graph.edges.keys(), forward)
+    cyclic: Set[int] = set()
+    for component in components:
+        if len(component) > 1:
+            cyclic.update(component)
+        elif component[0] in forward.get(component[0], ()):
+            cyclic.add(component[0])
+
+    can_reach = {
+        "collision": _backward_closure(collision_sources, reverse),
+        "disconnected": _backward_closure(disconnect_sources, reverse),
+        "deadlock": _backward_closure(terminal_deadlock, reverse),
+        "livelock": _backward_closure(cyclic, reverse),
+        "unknown": _backward_closure(graph.unexplored, reverse),
+    }
+    can_gather = _backward_closure(terminal_gathered, reverse)
+
+    classification = Classification(
+        mode=graph.mode,
+        can_reach=dict(can_reach),
+        can_gather=can_gather,
+        cyclic_nodes=frozenset(cyclic),
+        truncated=graph.truncated,
+    )
+    for packed in graph.nodes():
+        kind = graph.terminal.get(packed)
+        if kind == TERMINAL_GATHERED:
+            cls = "gathered"
+        elif kind == TERMINAL_DEADLOCK:
+            cls = "deadlock"
+        elif packed in graph.unexplored:
+            cls = "unknown"
+        else:
+            for candidate in _FAILURE_PRIORITY:
+                if packed in can_reach[candidate]:
+                    cls = candidate
+                    break
+            else:
+                cls = "safe"
+        classification.node_class[packed] = cls
+    return classification

@@ -1,0 +1,323 @@
+"""Transition-graph construction over packed canonical configurations.
+
+The state space of the gathering problem is finite: every reachable
+configuration of ``n`` connected robots is (up to translation) one of the
+fixed polyhexes with ``n`` cells, and :func:`repro.grid.packing.pack_nodes`
+gives each of them a canonical integer name.  This module builds the directed
+graph whose vertices are those integers and whose edges are the rounds the
+engine could execute:
+
+* under **FSYNC** every robot is activated, so each vertex has exactly one
+  outgoing edge (the graph is functional);
+* under **SSYNC** the adversary activates any non-empty subset of robots.
+  Because an algorithm is a deterministic function of each robot's view
+  (:func:`repro.core.engine.move_intents`), the moves under activation subset
+  ``A`` are exactly the full-activation intents restricted to ``A`` — so the
+  distinct successors are indexed by the *subsets of the mover set*, at most
+  ``2^n - 1`` instead of one per activation subset, and usually far fewer.
+
+Edges that violate one of the paper's three forbidden behaviours end in the
+virtual :data:`COLLISION_SINK`; edges that split the swarm end in
+:data:`DISCONNECT_SINK`.  Several activation subsets frequently produce the
+same successor; the builder keeps one representative edge per successor, the
+one with the fewest movers (subsets are enumerated in increasing-cardinality
+order), which later gives the shortest possible per-round witnesses.
+
+Frontier expansion is embarrassingly parallel, so the builder fans chunks of
+the BFS frontier out through :func:`repro.core.runner.run_chunked_tasks`, the
+same primitive the batch runner uses for exhaustive sweeps.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.configuration import Configuration
+from ..core.engine import (
+    _is_connected_nodes,
+    apply_moves_nodes,
+    detect_collision_nodes,
+    move_intents,
+)
+from ..core.runner import ConfigurationLike, run_chunked_tasks
+from ..grid.coords import Coord
+from ..grid.packing import pack_nodes, unpack_nodes
+
+__all__ = [
+    "COLLISION_SINK",
+    "DISCONNECT_SINK",
+    "MODES",
+    "TERMINAL_GATHERED",
+    "TERMINAL_DEADLOCK",
+    "TransitionGraph",
+    "expand_packed",
+    "build_transition_graph",
+]
+
+#: Virtual sink vertex for edges that would commit a forbidden behaviour
+#: (swap, move-onto-staying or same-target; Section II-A of the paper).
+COLLISION_SINK = -1
+#: Virtual sink vertex for edges whose successor configuration is disconnected.
+DISCONNECT_SINK = -2
+
+#: The supported edge semantics.
+MODES = ("fsync", "ssync")
+
+#: Terminal kinds of quiescent vertices.
+TERMINAL_GATHERED = "gathered"
+TERMINAL_DEADLOCK = "deadlock"
+
+#: An edge: ``(mover_bits, destination)``.  Bit ``i`` of ``mover_bits`` refers
+#: to the ``i``-th robot of the source vertex's canonical sorted position
+#: tuple; the destination is a packed configuration or one of the sinks.
+Edge = Tuple[int, int]
+
+
+@dataclass
+class TransitionGraph:
+    """The explored portion of the configuration transition graph."""
+
+    #: Name of the algorithm whose rules define the edges.
+    algorithm_name: str
+    #: Edge semantics: ``"fsync"`` or ``"ssync"``.
+    mode: str
+    #: Outgoing edges of every expanded non-terminal vertex.
+    edges: Dict[int, Tuple[Edge, ...]] = field(default_factory=dict)
+    #: Expanded quiescent vertices and their terminal kind.
+    terminal: Dict[int, str] = field(default_factory=dict)
+    #: The packed root configurations the exploration started from.
+    roots: Tuple[int, ...] = ()
+    #: Discovered but never expanded vertices (node budget exhausted).
+    unexplored: FrozenSet[int] = frozenset()
+    #: Whether connectivity was enforced (disconnecting edges end in the sink).
+    require_connectivity: bool = True
+    #: Wall-clock seconds spent building the graph.
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ access
+    @property
+    def truncated(self) -> bool:
+        """Whether the node budget cut the exploration short."""
+        return bool(self.unexplored)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of discovered vertices (expanded plus unexplored)."""
+        return len(self.edges) + len(self.terminal) + len(self.unexplored)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored (deduplicated) edges, sink edges included."""
+        return sum(len(e) for e in self.edges.values())
+
+    def nodes(self) -> Iterable[int]:
+        """All discovered vertices."""
+        yield from self.edges
+        yield from self.terminal
+        yield from self.unexplored
+
+    def successors(self, packed: int) -> Tuple[Edge, ...]:
+        """Outgoing edges of a vertex (empty for terminal/unexplored vertices)."""
+        return self.edges.get(packed, ())
+
+    @staticmethod
+    def positions(packed: int) -> Tuple[Coord, ...]:
+        """Canonical sorted robot positions of a vertex."""
+        return unpack_nodes(packed)
+
+    @staticmethod
+    def movers_of(packed: int, mover_bits: int) -> Tuple[Coord, ...]:
+        """The robots an edge activates, as positions of the source vertex."""
+        positions = unpack_nodes(packed)
+        return tuple(
+            pos for index, pos in enumerate(positions) if mover_bits & (1 << index)
+        )
+
+    def throughput(self) -> float:
+        """Expanded vertices per second (0.0 when no time was recorded)."""
+        expanded = len(self.edges) + len(self.terminal)
+        return expanded / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+
+def expand_packed(
+    packed: int,
+    algorithm,
+    mode: str = "fsync",
+    require_connectivity: bool = True,
+) -> Tuple[Tuple[Edge, ...], Optional[str]]:
+    """Expand one vertex: its outgoing edges, or its terminal kind.
+
+    Returns ``(edges, terminal)``.  Quiescent vertices (no robot intends to
+    move) have no edges and a terminal kind; every other vertex has at least
+    one edge and ``terminal is None``.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
+    positions = unpack_nodes(packed)
+    position_set = frozenset(positions)
+    intents = move_intents(position_set, algorithm)
+    if not intents:
+        kind = (
+            TERMINAL_GATHERED
+            if Configuration(positions).is_gathered()
+            else TERMINAL_DEADLOCK
+        )
+        return (), kind
+
+    index_of = {pos: index for index, pos in enumerate(positions)}
+    movers = sorted(intents)
+    if mode == "fsync":
+        subsets: Iterable[Tuple[Coord, ...]] = (tuple(movers),)
+    else:
+        # Increasing cardinality, so the first edge reaching a successor is
+        # the one with the fewest movers.
+        subsets = (
+            subset
+            for size in range(1, len(movers) + 1)
+            for subset in combinations(movers, size)
+        )
+
+    targets: Dict[int, int] = {}
+    for subset in subsets:
+        bits = 0
+        for pos in subset:
+            bits |= 1 << index_of[pos]
+        moves = {pos: intents[pos] for pos in subset}
+        if detect_collision_nodes(position_set, moves) is not None:
+            destination = COLLISION_SINK
+        else:
+            next_nodes = apply_moves_nodes(position_set, moves)
+            if require_connectivity and not _is_connected_nodes(next_nodes):
+                destination = DISCONNECT_SINK
+            else:
+                destination = pack_nodes(next_nodes)
+        if destination not in targets:
+            targets[destination] = bits
+    return tuple((bits, destination) for destination, bits in targets.items()), None
+
+
+# ---------------------------------------------------------------------------
+# Graph construction (serial or parallel frontier expansion).
+# ---------------------------------------------------------------------------
+
+_ExpandPayload = Tuple[str, str, List[int], bool]
+
+
+def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], Optional[str]]]:
+    """Worker entry point: expand one chunk of packed vertices."""
+    algorithm_name, mode, packed_list, require_connectivity = payload
+    from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+    algorithm = create_algorithm(algorithm_name)
+    return [
+        (packed, *expand_packed(packed, algorithm, mode, require_connectivity))
+        for packed in packed_list
+    ]
+
+
+def _pack_roots(roots: Iterable[ConfigurationLike]) -> Tuple[int, ...]:
+    packed_roots: List[int] = []
+    seen: Set[int] = set()
+    for item in roots:
+        nodes = item.nodes if isinstance(item, Configuration) else item
+        packed = pack_nodes(nodes)
+        if packed not in seen:
+            seen.add(packed)
+            packed_roots.append(packed)
+    return tuple(packed_roots)
+
+
+def build_transition_graph(
+    roots: Iterable[ConfigurationLike],
+    algorithm=None,
+    algorithm_name: Optional[str] = None,
+    mode: str = "fsync",
+    max_nodes: Optional[int] = None,
+    workers: int = 1,
+    chunk_size: int = 256,
+    require_connectivity: bool = True,
+) -> TransitionGraph:
+    """Explore the transition graph reachable from ``roots`` exhaustively.
+
+    Breadth-first frontier expansion: every discovered vertex is expanded
+    exactly once; ``max_nodes`` bounds the number of *expanded* vertices (the
+    remainder of the frontier is recorded as :attr:`TransitionGraph.unexplored`
+    and the graph is marked truncated).  Exactly one of ``algorithm`` /
+    ``algorithm_name`` must be given; parallel expansion (``workers > 1``)
+    requires the named form, mirroring :func:`repro.core.runner.run_many`.
+    One spawn pool serves the whole build, but workers rebuild the algorithm
+    (and its decision cache) per chunk, so parallelism only pays off well
+    beyond the seven-robot graph — the full 3652-vertex build is ~0.5s
+    serial, which spawn startup alone can exceed.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
+    if (algorithm is None) == (algorithm_name is None):
+        raise ValueError("provide exactly one of algorithm / algorithm_name")
+    if workers > 1 and algorithm_name is None:
+        raise ValueError("parallel exploration requires algorithm_name (registry lookup)")
+    if algorithm is None:
+        from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+        algorithm = create_algorithm(algorithm_name)
+    resolved_name = algorithm_name or algorithm.name
+
+    start = time.perf_counter()
+    packed_roots = _pack_roots(roots)
+    graph = TransitionGraph(
+        algorithm_name=resolved_name,
+        mode=mode,
+        roots=packed_roots,
+        require_connectivity=require_connectivity,
+    )
+    seen: Set[int] = set(packed_roots)
+    frontier: List[int] = list(packed_roots)
+    expanded = 0
+    budget = max_nodes if max_nodes is not None else float("inf")
+    # One pool for the whole build: the BFS fans out once per level, and a
+    # fresh spawn pool per level would dominate the ~0.5s full-graph build.
+    pool = None
+    if workers > 1:
+        import multiprocessing
+        import os
+
+        pool = multiprocessing.get_context("spawn").Pool(
+            processes=min(workers, os.cpu_count() or 1)
+        )
+
+    try:
+        while frontier and expanded < budget:
+            take = int(min(len(frontier), budget - expanded))
+            batch, frontier = frontier[:take], frontier[take:]
+            if pool is not None and len(batch) > chunk_size:
+                payloads: List[_ExpandPayload] = [
+                    (resolved_name, mode, batch[i : i + chunk_size], require_connectivity)
+                    for i in range(0, len(batch), chunk_size)
+                ]
+                chunks = run_chunked_tasks(payloads, _expand_chunk, pool=pool)
+                results = [item for chunk in chunks for item in chunk]
+            else:
+                results = [
+                    (packed, *expand_packed(packed, algorithm, mode, require_connectivity))
+                    for packed in batch
+                ]
+            expanded += len(results)
+            for packed, edges, terminal_kind in results:
+                if terminal_kind is not None:
+                    graph.terminal[packed] = terminal_kind
+                    continue
+                graph.edges[packed] = edges
+                for _, destination in edges:
+                    if destination >= 0 and destination not in seen:
+                        seen.add(destination)
+                        frontier.append(destination)
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    graph.unexplored = frozenset(frontier)
+    graph.elapsed_seconds = time.perf_counter() - start
+    return graph

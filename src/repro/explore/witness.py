@@ -1,0 +1,332 @@
+"""Minimal counterexample traces extracted from a transition graph.
+
+Once the analyzer has classified the graph, each failing class is witnessed by
+an explicit schedule: the activation sequence and per-round configurations of
+a shortest execution exhibiting the failure.  Witnesses turn the abstract
+census ("1365 configurations deadlock") into concrete, replayable evidence —
+the counterexample-driven loop the rule-reconstruction effort iterates on.
+
+Edges store activation choices relative to the *canonical* (translated)
+source vertex, but a readable trace should stay in one coordinate frame.  The
+extractor therefore replays the canonical edge path from the root with the
+actual engine primitives: lexicographic order is translation-invariant, so
+the ``i``-th robot of the canonical vertex is the ``i``-th robot of the
+replayed configuration, and the decision cache supplies the move directions.
+:func:`replay_witness` re-executes a (possibly deserialized) witness against
+the engine and verifies every round, making traces self-checking artefacts.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.engine import step_nodes
+from ..grid.coords import Coord
+from ..grid.packing import unpack_nodes
+from .analyzer import Classification
+from .transitions import COLLISION_SINK, DISCONNECT_SINK, TERMINAL_DEADLOCK, TransitionGraph
+
+__all__ = ["WitnessStep", "Witness", "find_witnesses", "replay_witness"]
+
+NodePair = Tuple[int, int]
+
+#: The classes a witness can be extracted for.
+WITNESS_KINDS = ("deadlock", "livelock", "collision", "disconnected")
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One round of a witness trace (all coordinates in the replay frame)."""
+
+    #: Sorted robot nodes at the beginning of the round.
+    configuration: Tuple[NodePair, ...]
+    #: Robots the adversary activates this round (all of them move).
+    activated: Tuple[NodePair, ...]
+    #: The moves they perform: ``(source node, direction name)``.
+    moves: Tuple[Tuple[NodePair, str], ...]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A minimal failing execution: activation sequence plus configurations."""
+
+    #: Failing class this trace witnesses (see :data:`WITNESS_KINDS`).
+    kind: str
+    #: Algorithm whose rules produced the trace.
+    algorithm_name: str
+    #: Edge semantics the trace was extracted under (``"fsync"``/``"ssync"``).
+    mode: str
+    #: The rounds of the trace, in order.
+    steps: Tuple[WitnessStep, ...]
+    #: Sorted robot nodes after the last round.  For collisions this equals
+    #: the last round's starting configuration (the forbidden round never
+    #: happens); for livelocks it is a translate of the cycle-start frame.
+    final: Tuple[NodePair, ...]
+    #: For livelocks: index of the step whose configuration the final
+    #: configuration revisits (up to translation).
+    cycle_start: Optional[int] = None
+    #: For collisions: which forbidden behaviour the last round commits.
+    collision_kind: Optional[str] = None
+
+    @property
+    def initial(self) -> Tuple[NodePair, ...]:
+        """Sorted robot nodes of the initial configuration."""
+        return self.steps[0].configuration if self.steps else self.final
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds in the trace."""
+        return len(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Shortest-path machinery over the canonical graph.
+# ---------------------------------------------------------------------------
+
+def _bfs_parents(
+    graph: TransitionGraph,
+) -> Tuple[Dict[int, int], Dict[int, Tuple[int, int]]]:
+    """Multi-source BFS from the roots over real (non-sink) edges.
+
+    Returns ``(distance, parent)`` where ``parent[v] = (predecessor, bits)``
+    is the edge of a shortest path from some root to ``v``.
+    """
+    distance: Dict[int, int] = {root: 0 for root in graph.roots}
+    parent: Dict[int, Tuple[int, int]] = {}
+    frontier: List[int] = list(graph.roots)
+    while frontier:
+        next_frontier: List[int] = []
+        for vertex in frontier:
+            for bits, destination in graph.successors(vertex):
+                if destination >= 0 and destination not in distance:
+                    distance[destination] = distance[vertex] + 1
+                    parent[destination] = (vertex, bits)
+                    next_frontier.append(destination)
+        frontier = next_frontier
+    return distance, parent
+
+
+def _edge_path(
+    parent: Dict[int, Tuple[int, int]], target: int
+) -> List[Tuple[int, int]]:
+    """The canonical edge path root → target: a list of ``(source, bits)``."""
+    path: List[Tuple[int, int]] = []
+    vertex = target
+    while vertex in parent:
+        predecessor, bits = parent[vertex]
+        path.append((predecessor, bits))
+        vertex = predecessor
+    path.reverse()
+    return path
+
+
+def _nearest(candidates: Iterable[int], distance: Dict[int, int]) -> Optional[int]:
+    """The candidate closest to the roots (ties broken by packed value)."""
+    best: Optional[int] = None
+    for packed in candidates:
+        if packed not in distance:
+            continue
+        if best is None or (distance[packed], packed) < (distance[best], best):
+            best = packed
+    return best
+
+
+def _find_cycle(
+    graph: TransitionGraph, start: int, allowed: FrozenSet[int]
+) -> List[Tuple[int, int]]:
+    """A shortest cycle of real edges from ``start`` back to itself.
+
+    The search is restricted to ``allowed`` (the cyclic vertices); only paths
+    inside ``start``'s own SCC can return, so the restriction is safe.
+    """
+    parent: Dict[int, Tuple[int, int]] = {}
+    seen: Set[int] = {start}
+    frontier: List[int] = [start]
+    while frontier:
+        next_frontier: List[int] = []
+        for vertex in frontier:
+            for bits, destination in graph.successors(vertex):
+                if destination < 0:
+                    continue
+                if destination == start:
+                    path = _edge_path(parent, vertex)
+                    path.append((vertex, bits))
+                    return path
+                if destination in allowed and destination not in seen:
+                    seen.add(destination)
+                    parent[destination] = (vertex, bits)
+                    next_frontier.append(destination)
+        frontier = next_frontier
+    raise ValueError(f"no cycle through vertex {start} (not a cyclic vertex?)")
+
+
+# ---------------------------------------------------------------------------
+# Replay: canonical edge paths -> coherent-frame traces.
+# ---------------------------------------------------------------------------
+
+def _materialize(
+    edge_path: Sequence[Tuple[int, int]],
+    root: int,
+    kind: str,
+    algorithm,
+    mode: str,
+    final_bits: Optional[int] = None,
+    cycle_start: Optional[int] = None,
+) -> Witness:
+    """Replay a canonical edge path in one coordinate frame.
+
+    ``final_bits`` appends one more round from the path's end vertex (used for
+    collision/disconnection, whose last edge leads into a sink).
+    """
+    current: Tuple[Coord, ...] = unpack_nodes(root)
+    steps: List[WitnessStep] = []
+    collision_kind: Optional[str] = None
+
+    rounds: List[int] = [bits for _, bits in edge_path]
+    if final_bits is not None:
+        rounds.append(final_bits)
+
+    for index, bits in enumerate(rounds):
+        positions = sorted(current)
+        movers = [pos for i, pos in enumerate(positions) if bits & (1 << i)]
+        next_nodes, moves, collision = step_nodes(
+            positions, algorithm, activated=set(movers)
+        )
+        steps.append(
+            WitnessStep(
+                configuration=tuple((c[0], c[1]) for c in positions),
+                activated=tuple((c[0], c[1]) for c in movers),
+                moves=tuple(
+                    ((pos[0], pos[1]), direction.name)
+                    for pos, direction in sorted(moves.items())
+                ),
+            )
+        )
+        if collision is not None:
+            if index != len(rounds) - 1 or kind != "collision":
+                raise ValueError(f"unexpected mid-trace collision: {collision}")
+            collision_kind = collision[0]
+            break
+        current = tuple(sorted(next_nodes))
+
+    return Witness(
+        kind=kind,
+        algorithm_name=algorithm.name,
+        mode=mode,
+        steps=tuple(steps),
+        final=tuple((c[0], c[1]) for c in sorted(current)),
+        cycle_start=cycle_start,
+        collision_kind=collision_kind,
+    )
+
+
+def find_witnesses(
+    graph: TransitionGraph,
+    classification: Classification,
+    algorithm=None,
+    algorithm_name: Optional[str] = None,
+) -> Dict[str, Witness]:
+    """One minimal witness per failing class present in the graph.
+
+    Minimality is in rounds: the witness for a class ends at the closest
+    possible vertex to the roots (multi-source BFS), and for livelocks the
+    appended cycle is itself a shortest cycle through that vertex.
+    """
+    if (algorithm is None) == (algorithm_name is None):
+        raise ValueError("provide exactly one of algorithm / algorithm_name")
+    if algorithm is None:
+        from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+        algorithm = create_algorithm(algorithm_name)
+
+    distance, parent = _bfs_parents(graph)
+    witnesses: Dict[str, Witness] = {}
+
+    def root_of(path: List[Tuple[int, int]], target: int) -> int:
+        return path[0][0] if path else target
+
+    # Deadlock: shortest path into a quiescent non-gathered vertex.
+    target = _nearest(
+        (p for p, kind in graph.terminal.items() if kind == TERMINAL_DEADLOCK), distance
+    )
+    if target is not None:
+        path = _edge_path(parent, target)
+        witnesses["deadlock"] = _materialize(
+            path, root_of(path, target), "deadlock", algorithm, graph.mode
+        )
+
+    # Collision / disconnection: shortest path to a vertex with a sink edge,
+    # plus that sink edge as the final round.
+    for kind, sink in (("collision", COLLISION_SINK), ("disconnected", DISCONNECT_SINK)):
+        sources = {
+            source: min(bits for bits, dst in edges if dst == sink)
+            for source, edges in graph.edges.items()
+            if any(dst == sink for _, dst in edges)
+        }
+        target = _nearest(sources, distance)
+        if target is not None:
+            path = _edge_path(parent, target)
+            witnesses[kind] = _materialize(
+                path,
+                root_of(path, target),
+                kind,
+                algorithm,
+                graph.mode,
+                final_bits=sources[target],
+            )
+
+    # Livelock: shortest path to a cyclic vertex, plus a shortest cycle back.
+    target = _nearest(classification.cyclic_nodes, distance)
+    if target is not None:
+        path = _edge_path(parent, target)
+        cycle = _find_cycle(graph, target, classification.cyclic_nodes)
+        witnesses["livelock"] = _materialize(
+            path + cycle,
+            root_of(path, target),
+            "livelock",
+            algorithm,
+            graph.mode,
+            cycle_start=len(path),
+        )
+
+    return witnesses
+
+
+def replay_witness(witness: Witness, algorithm) -> Tuple[NodePair, ...]:
+    """Re-execute a witness against the engine, verifying every round.
+
+    Returns the final sorted node tuple.  Raises :class:`ValueError` when the
+    trace does not reproduce — the guarantee that serialized witnesses stay
+    faithful to the algorithm that produced them.
+    """
+    if not witness.steps:
+        return witness.final
+    current = tuple(Coord(q, r) for q, r in witness.steps[0].configuration)
+    for index, step in enumerate(witness.steps):
+        recorded = tuple((c[0], c[1]) for c in sorted(current))
+        if recorded != step.configuration:
+            raise ValueError(
+                f"round {index}: configuration diverged: {recorded} != {step.configuration}"
+            )
+        activated = {Coord(q, r) for q, r in step.activated}
+        next_nodes, moves, collision = step_nodes(current, algorithm, activated=activated)
+        recorded_moves = tuple(
+            ((pos[0], pos[1]), direction.name) for pos, direction in sorted(moves.items())
+        )
+        if recorded_moves != step.moves:
+            raise ValueError(
+                f"round {index}: moves diverged: {recorded_moves} != {step.moves}"
+            )
+        if collision is not None:
+            if witness.kind != "collision" or index != len(witness.steps) - 1:
+                raise ValueError(f"round {index}: unexpected collision {collision}")
+            if collision[0] != witness.collision_kind:
+                raise ValueError(
+                    f"collision kind diverged: {collision[0]} != {witness.collision_kind}"
+                )
+            break
+        current = tuple(sorted(next_nodes))
+    final = tuple((c[0], c[1]) for c in sorted(current))
+    if final != witness.final:
+        raise ValueError(f"final configuration diverged: {final} != {witness.final}")
+    return final

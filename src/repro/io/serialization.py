@@ -1,36 +1,83 @@
-"""JSON round-tripping of configurations, traces and verification reports.
+"""JSON round-tripping of configurations, traces, reports and witnesses.
 
 The benchmark harness and the CLI use these helpers to persist results; the
-format is deliberately plain (lists and dicts only) so downstream tooling can
-consume it without importing this package.
+format is deliberately plain (lists, dicts and ints only) so downstream
+tooling can consume it without importing this package.
+
+Configurations are serialized in two interchangeable forms that round-trip
+exactly:
+
+* ``{"nodes": [[q, r], ...]}`` — explicit node list, human-readable;
+* ``{"packed": N}`` — the canonical packed integer of
+  :func:`repro.grid.packing.pack_nodes`, the explorer's native vertex name.
+
+:func:`configuration_to_dict` emits both; :func:`configuration_from_dict`
+accepts either and cross-checks them when both are present, so a report can
+be hand-edited without silently drifting out of sync.
 """
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.configuration import Configuration
 from ..core.trace import ExecutionTrace, Outcome
 from ..analysis.verification import ConfigurationResult, VerificationReport
+from ..grid.packing import pack_nodes, unpack_nodes
 
 __all__ = [
     "configuration_to_dict",
     "configuration_from_dict",
+    "configuration_to_packed",
+    "configuration_from_packed",
     "trace_to_dict",
     "report_to_dict",
+    "witness_to_dict",
+    "witness_from_dict",
+    "exploration_to_dict",
     "dumps",
     "loads_configuration",
 ]
 
 
+def configuration_to_packed(configuration: Configuration) -> int:
+    """The canonical packed integer of a configuration (up to translation)."""
+    return pack_nodes(configuration.nodes)
+
+
+def configuration_from_packed(packed: int) -> Configuration:
+    """Rebuild a configuration from its canonical packed integer."""
+    return Configuration(unpack_nodes(packed))
+
+
 def configuration_to_dict(configuration: Configuration) -> Dict[str, Any]:
-    """Plain-dict form of a configuration."""
-    return {"nodes": [[c.q, c.r] for c in configuration.sorted_nodes()]}
+    """Plain-dict form of a configuration (node list plus packed integer)."""
+    return {
+        "nodes": [[c.q, c.r] for c in configuration.sorted_nodes()],
+        "packed": configuration_to_packed(configuration),
+    }
 
 
 def configuration_from_dict(data: Dict[str, Any]) -> Configuration:
-    """Rebuild a configuration from :func:`configuration_to_dict` output."""
-    return Configuration((int(q), int(r)) for q, r in data["nodes"])
+    """Rebuild a configuration from :func:`configuration_to_dict` output.
+
+    Accepts the node-list form, the packed form, or both.  When both are
+    present they must agree up to translation (the packed form is canonical);
+    a mismatch raises :class:`ValueError` instead of silently preferring one.
+    """
+    nodes = data.get("nodes")
+    packed = data.get("packed")
+    if nodes is None and packed is None:
+        raise ValueError("configuration dict needs a 'nodes' or 'packed' entry")
+    if nodes is not None:
+        configuration = Configuration((int(q), int(r)) for q, r in nodes)
+        if packed is not None and pack_nodes(configuration.nodes) != int(packed):
+            raise ValueError(
+                f"'nodes' and 'packed' disagree: packing the nodes gives "
+                f"{pack_nodes(configuration.nodes)}, dict says {packed}"
+            )
+        return configuration
+    return configuration_from_packed(int(packed))
 
 
 def trace_to_dict(trace: ExecutionTrace, include_rounds: bool = False) -> Dict[str, Any]:
@@ -65,11 +112,85 @@ def report_to_dict(report: VerificationReport, include_failures: bool = True) ->
         payload["failures"] = [
             {
                 "nodes": list(map(list, result.initial_nodes)),
+                "packed": pack_nodes(result.initial_nodes),
                 "outcome": result.outcome.value,
                 "rounds": result.rounds,
             }
             for result in report.failures
         ]
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Explorer artefacts: witnesses and exploration reports.
+# ---------------------------------------------------------------------------
+
+def witness_to_dict(witness) -> Dict[str, Any]:
+    """Plain-dict form of a model-checking witness trace (fully replayable)."""
+    return {
+        "kind": witness.kind,
+        "algorithm": witness.algorithm_name,
+        "mode": witness.mode,
+        "steps": [
+            {
+                "configuration": [list(node) for node in step.configuration],
+                "activated": [list(node) for node in step.activated],
+                "moves": [[list(pos), name] for pos, name in step.moves],
+            }
+            for step in witness.steps
+        ],
+        "final": [list(node) for node in witness.final],
+        "cycle_start": witness.cycle_start,
+        "collision_kind": witness.collision_kind,
+    }
+
+
+def witness_from_dict(data: Dict[str, Any]):
+    """Invert :func:`witness_to_dict`; the result replays through the engine."""
+    from ..explore.witness import Witness, WitnessStep  # late: avoids an import cycle
+
+    steps = tuple(
+        WitnessStep(
+            configuration=tuple((int(q), int(r)) for q, r in step["configuration"]),
+            activated=tuple((int(q), int(r)) for q, r in step["activated"]),
+            moves=tuple(
+                ((int(pos[0]), int(pos[1])), str(name)) for pos, name in step["moves"]
+            ),
+        )
+        for step in data["steps"]
+    )
+    return Witness(
+        kind=data["kind"],
+        algorithm_name=data["algorithm"],
+        mode=data["mode"],
+        steps=steps,
+        final=tuple((int(q), int(r)) for q, r in data["final"]),
+        cycle_start=data.get("cycle_start"),
+        collision_kind=data.get("collision_kind"),
+    )
+
+
+def exploration_to_dict(
+    report,
+    include_witnesses: bool = True,
+    include_nodes: bool = False,
+) -> Dict[str, Any]:
+    """Plain-dict form of an :class:`repro.explore.ExplorationReport`.
+
+    ``include_nodes`` additionally emits the per-vertex classification keyed
+    by packed integer (large: one entry per discovered configuration).
+    """
+    payload: Dict[str, Any] = dict(report.summary())
+    if include_witnesses:
+        payload["witnesses"] = {
+            kind: witness_to_dict(witness)
+            for kind, witness in sorted(report.witnesses.items())
+        }
+    if include_nodes:
+        payload["node_classes"] = {
+            str(packed): cls
+            for packed, cls in sorted(report.classification.node_class.items())
+        }
     return payload
 
 

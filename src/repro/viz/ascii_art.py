@@ -16,7 +16,12 @@ from typing import Iterable, List, Optional, Tuple
 from ..core.configuration import Configuration
 from ..core.trace import ExecutionTrace
 
-__all__ = ["render_configuration", "render_trace", "render_side_by_side"]
+__all__ = [
+    "render_configuration",
+    "render_trace",
+    "render_side_by_side",
+    "render_witness",
+]
 
 
 def render_configuration(
@@ -91,6 +96,60 @@ def render_trace(
         f"outcome: {trace.outcome.value} after {trace.num_rounds} rounds, "
         f"{trace.total_moves} robot moves"
     )
+    return "\n\n".join(blocks) + "\n\n" + footer
+
+
+def render_witness(
+    witness,
+    unicode_symbols: bool = True,
+    max_frames: int = 12,
+) -> str:
+    """Render a model-checking counterexample trace, round by round.
+
+    Each frame shows the configuration at the start of the round with the
+    activated robots highlighted (``◎`` / ``*``) and lists the moves the
+    adversarial schedule performs; the final frame shows where the trace ends.
+    ``witness`` is a :class:`repro.explore.witness.Witness`.
+    """
+    blocks: List[str] = []
+    indexed = list(enumerate(witness.steps))
+    shown = indexed
+    if len(shown) > max_frames:
+        # Keep the head and tail of long traces; the elision is announced.
+        head = max_frames // 2
+        tail = max_frames - head
+        blocks.append(
+            f"({len(shown) - max_frames} of {len(shown)} rounds elided)"
+        )
+        shown = indexed[:head] + indexed[-tail:]
+    arrow = "→" if unicode_symbols else "->"
+    for index, step in shown:
+        moves = ", ".join(f"({q},{r}){arrow}{name}" for (q, r), name in step.moves)
+        marker = ""
+        if witness.cycle_start is not None and index == witness.cycle_start:
+            marker = "  [cycle starts here]"
+        header = f"--- round {index}: activate {len(step.activated)} robot(s), {moves}{marker} ---"
+        frame = render_configuration(
+            Configuration(step.configuration),
+            unicode_symbols=unicode_symbols,
+            highlight=step.activated,
+        )
+        blocks.append(header + "\n" + frame)
+    if witness.kind == "collision":
+        footer = (
+            f"outcome: {witness.kind} ({witness.collision_kind}) — the last "
+            f"round's moves are forbidden"
+        )
+    else:
+        blocks.append(
+            "--- final ---\n"
+            + render_configuration(
+                Configuration(witness.final), unicode_symbols=unicode_symbols
+            )
+        )
+        footer = f"outcome: {witness.kind} after {witness.num_rounds} round(s)"
+        if witness.cycle_start is not None:
+            footer += f" (revisits round {witness.cycle_start} up to translation)"
     return "\n\n".join(blocks) + "\n\n" + footer
 
 

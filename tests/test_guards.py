@@ -1,0 +1,134 @@
+"""Isolated tests for the shared guards of the visibility-2 algorithms.
+
+The guards answer local safety questions from a single robot's view; they are
+exercised here in isolation over hand-built edge cases and — because the
+compass fixes no preferred axis for *safety* (only for tie-breaking) — for
+equivariance under the full dihedral group D6: rotating or reflecting both
+the view and the candidate direction must never change a guard's verdict.
+"""
+import pytest
+
+from repro.algorithms.guards import connectivity_safe, entry_uncontested
+from repro.core.view import View, all_views_of
+from repro.enumeration.polyhex import enumerate_connected_configurations
+from repro.grid.directions import DIRECTIONS, Direction, direction_from_vector
+from repro.grid.symmetry import reflect_x, rotate
+
+#: The twelve elements of D6 as (reflect?, rotation steps).
+SYMMETRIES = [(reflect, steps) for reflect in (False, True) for steps in range(6)]
+
+
+def apply_symmetry(offset, reflect, steps):
+    node = reflect_x(offset) if reflect else offset
+    return rotate(node, steps)
+
+
+def transform_view(view, reflect, steps):
+    return View(
+        [apply_symmetry(o, reflect, steps) for o in view.occupied_offsets],
+        view.visibility_range,
+    )
+
+
+def transform_direction(direction, reflect, steps):
+    return direction_from_vector(apply_symmetry(direction.value, reflect, steps))
+
+
+@pytest.fixture(scope="module")
+def sample_views():
+    """A deterministic sample of genuine range-2 views from real configurations."""
+    views = {}
+    for config in enumerate_connected_configurations(7)[::97]:
+        for _, view in all_views_of(config, 2):
+            views[view] = None
+    assert len(views) > 30
+    return list(views)
+
+
+# --------------------------------------------------------------- edge cases
+
+def test_connectivity_safe_requires_a_neighbor():
+    lonely = View([(2, 0)], 2)  # a robot two hops away, nobody adjacent
+    for direction in DIRECTIONS:
+        assert not connectivity_safe(lonely, direction)
+
+
+def test_connectivity_safe_single_neighbor_pivot():
+    view = View([(1, 0)], 2)  # one neighbor to the east
+    # Pivoting to NE keeps the neighbor adjacent (target (0,1) touches (1,0)).
+    assert connectivity_safe(view, Direction.NE)
+    assert connectivity_safe(view, Direction.SE)
+    # Walking away to the west strands it.
+    assert not connectivity_safe(view, Direction.W)
+    assert not connectivity_safe(view, Direction.NW)
+    assert not connectivity_safe(view, Direction.SW)
+
+
+def test_connectivity_safe_bridge_robot_must_not_move():
+    """The middle of a 3-line is a cut vertex: every move is unsafe."""
+    view = View([(1, 0), (-1, 0)], 2)
+    for direction in (Direction.NE, Direction.NW, Direction.SE, Direction.SW):
+        assert not connectivity_safe(view, direction)
+
+
+def test_connectivity_safe_triangle_is_redundant():
+    """In a triangle each robot is redundant: pivoting around it is safe."""
+    view = View([(1, 0), (0, 1)], 2)  # me + E + NE form a triangle
+    assert connectivity_safe(view, Direction.NE)  # onto (0,1)? occupied target —
+    # the guard only checks connectivity; legality of the target is separate.
+    assert connectivity_safe(view, Direction.E)
+
+
+def test_connectivity_safe_conservative_outside_window():
+    """Robots linked only through nodes outside the window fail the check."""
+    # Neighbors E and W linked through me only (inside the window).
+    view = View([(1, 0), (-1, 0), (2, 0), (-2, 0)], 2)
+    assert not connectivity_safe(view, Direction.NE)
+
+
+def test_entry_uncontested_basic():
+    view = View([(1, 0)], 2)
+    # Target (0,1) is adjacent to the robot at (1,0): contested.
+    assert not entry_uncontested(view, Direction.NE)
+    # Target (-1,0): its only occupied neighbor is me: uncontested.
+    assert entry_uncontested(view, Direction.W)
+
+
+def test_entry_uncontested_ignores_self():
+    """The observing robot never contests its own move target."""
+    empty = View([], 2)
+    for direction in DIRECTIONS:
+        assert entry_uncontested(empty, direction)
+
+
+def test_entry_uncontested_distance_two_contester():
+    # A robot at (2,0) is adjacent to my east target (1,0): contested.
+    view = View([(2, 0)], 2)
+    assert not entry_uncontested(view, Direction.E)
+    assert entry_uncontested(view, Direction.W)
+
+
+# ------------------------------------------------- D6 equivariance (classes)
+
+@pytest.mark.parametrize("reflect,steps", SYMMETRIES)
+def test_connectivity_safe_equivariant(sample_views, reflect, steps):
+    for view in sample_views:
+        for direction in DIRECTIONS:
+            expected = connectivity_safe(view, direction)
+            got = connectivity_safe(
+                transform_view(view, reflect, steps),
+                transform_direction(direction, reflect, steps),
+            )
+            assert got == expected, (view, direction, reflect, steps)
+
+
+@pytest.mark.parametrize("reflect,steps", SYMMETRIES)
+def test_entry_uncontested_equivariant(sample_views, reflect, steps):
+    for view in sample_views:
+        for direction in DIRECTIONS:
+            expected = entry_uncontested(view, direction)
+            got = entry_uncontested(
+                transform_view(view, reflect, steps),
+                transform_direction(direction, reflect, steps),
+            )
+            assert got == expected, (view, direction, reflect, steps)

@@ -1,0 +1,106 @@
+"""Round-trip tests for packed-configuration and witness serialization."""
+import json
+
+import pytest
+
+from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.core.configuration import Configuration, hexagon, line
+from repro.enumeration.polyhex import enumerate_connected_configurations
+from repro.explore import explore, replay_witness
+from repro.grid.packing import pack_nodes
+from repro.io.serialization import (
+    configuration_from_dict,
+    configuration_from_packed,
+    configuration_to_dict,
+    configuration_to_packed,
+    dumps,
+    exploration_to_dict,
+    loads_configuration,
+    witness_from_dict,
+    witness_to_dict,
+)
+
+
+# --------------------------------------------------- configuration round-trip
+
+@pytest.mark.parametrize("config", [hexagon(), line(7), Configuration([(3, -2)])])
+def test_packed_int_roundtrip(config):
+    packed = configuration_to_packed(config)
+    rebuilt = configuration_from_packed(packed)
+    # Packing canonicalizes up to translation.
+    assert rebuilt.canonical_key() == config.canonical_key()
+    assert configuration_to_packed(rebuilt) == packed
+
+
+def test_dict_roundtrip_through_json():
+    config = hexagon((5, -7))
+    payload = json.loads(dumps(configuration_to_dict(config)))
+    rebuilt = configuration_from_dict(payload)
+    assert rebuilt == config  # the node list preserves the absolute frame
+    assert payload["packed"] == pack_nodes(config.nodes)
+
+
+def test_from_dict_accepts_packed_only():
+    config = line(5)
+    packed = configuration_to_packed(config)
+    rebuilt = configuration_from_dict({"packed": packed})
+    assert rebuilt.canonical_key() == config.canonical_key()
+
+
+def test_from_dict_rejects_inconsistent_pair():
+    config = line(4)
+    with pytest.raises(ValueError, match="disagree"):
+        configuration_from_dict(
+            {
+                "nodes": [[c.q, c.r] for c in config.sorted_nodes()],
+                "packed": configuration_to_packed(hexagon()),
+            }
+        )
+
+
+def test_from_dict_rejects_empty_payload():
+    with pytest.raises(ValueError, match="'nodes' or 'packed'"):
+        configuration_from_dict({})
+
+
+def test_loads_configuration_accepts_both_forms():
+    config = line(6)
+    as_nodes = dumps({"nodes": [[c.q, c.r] for c in config.sorted_nodes()]})
+    as_packed = dumps({"packed": configuration_to_packed(config)})
+    assert loads_configuration(as_nodes) == config
+    assert (
+        loads_configuration(as_packed).canonical_key() == config.canonical_key()
+    )
+
+
+def test_packed_roundtrip_over_full_enumeration():
+    """Every one of the 3652 initial configurations survives config <-> int."""
+    for config in enumerate_connected_configurations(7):
+        packed = configuration_to_packed(config)
+        assert configuration_from_packed(packed).nodes == config.normalized().nodes
+
+
+# --------------------------------------------------------- witness round-trip
+
+@pytest.fixture(scope="module")
+def ssync_report():
+    return explore(algorithm_name="shibata-visibility2", size=5, mode="ssync")
+
+
+def test_witness_json_roundtrip_replays(ssync_report):
+    algorithm = ShibataGatheringAlgorithm()
+    for witness in ssync_report.witnesses.values():
+        payload = json.loads(dumps(witness_to_dict(witness)))
+        rebuilt = witness_from_dict(payload)
+        assert rebuilt == witness
+        replay_witness(rebuilt, algorithm)
+
+
+def test_exploration_report_serializes(ssync_report):
+    payload = json.loads(dumps(exploration_to_dict(ssync_report, include_nodes=True)))
+    assert payload["algorithm"] == "shibata-visibility2"
+    assert sum(payload["root_census"].values()) == len(ssync_report.graph.roots)
+    assert len(payload["node_classes"]) == ssync_report.graph.num_nodes
+    # Witness payloads are replayable after the round-trip.
+    for data in payload["witnesses"].values():
+        replay_witness(witness_from_dict(data), ShibataGatheringAlgorithm())
