@@ -1,0 +1,150 @@
+"""Experiment E11 (extension, ours) — CEGIS rule-synthesis throughput.
+
+Benchmarks the :mod:`repro.synth` subsystem end to end on the deleted-guard
+recovery workload: Algorithm 1 with the printed anti-standstill rule R3c
+removed deadlocks hundreds of roots the full algorithm gathers; the CEGIS
+loop must win them all back.  The measured rates — chain-search stuck points
+(candidates) evaluated per second and exhaustive verification sweeps per
+repair — are persisted to ``BENCH_synth.json`` so later PRs can track the
+synthesis engine's trajectory alongside the kernel and explorer baselines.
+
+The committed ``shibata-visibility2-synth`` rule set is also re-checked here
+at benchmark scale: its FSYNC census must reproduce the ROADMAP numbers
+exactly, and the adversarial SSYNC pass must stay collision- and
+livelock-free.
+"""
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import create_algorithm
+from repro.explore import explore
+from repro.grid.packing import unpack_nodes
+from repro.synth import synthesize
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_synth.json"
+
+_SYNTH_TIMINGS = {}
+
+#: The deleted-guard base of the recovery benchmark.
+_ABLATED = "shibata-visibility2[minus-R3c]"
+
+
+@pytest.fixture(scope="module")
+def affected_roots():
+    """Every root the R3c deletion breaks (gathers under the full rules)."""
+    full = explore(algorithm_name="shibata-visibility2", mode="fsync", with_witnesses=False)
+    ok_full = {
+        packed
+        for packed in full.graph.roots
+        if full.classification.node_class[packed] in ("gathered", "safe")
+    }
+    ablated = explore(algorithm_name=_ABLATED, mode="fsync", with_witnesses=False)
+    return [
+        unpack_nodes(packed)
+        for packed in ablated.graph.roots
+        if ablated.classification.node_class[packed] not in ("gathered", "safe")
+        and packed in ok_full
+    ]
+
+
+@pytest.mark.benchmark(group="E11-synth")
+def test_synth_deleted_guard_recovery(benchmark, affected_roots, print_table):
+    start = time.perf_counter()
+    result = synthesize(
+        base_name=_ABLATED,
+        roots=affected_roots,
+        max_iterations=6,
+        chain_budget=600,
+        max_depth=24,
+        branch=5,
+    )
+    total_seconds = time.perf_counter() - start
+
+    # Correctness first: full recovery of the deleted guard's coverage,
+    # validated collision- and livelock-free under adversarial SSYNC.
+    assert result.base_ok == 0
+    assert result.final_ok == len(affected_roots)
+    assert result.validated is True
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    _SYNTH_TIMINGS.update(
+        {
+            "recovery_roots": len(affected_roots),
+            "recovery_rules": len(result.ruleset),
+            "recovery_iterations": len(result.iterations),
+            "recovery_candidates_evaluated": result.candidates_evaluated,
+            "recovery_candidates_per_second": round(result.candidates_per_second(), 1),
+            "recovery_explores": result.explores,
+            "recovery_seconds": round(total_seconds, 4),
+            "recovery_final_census": dict(result.final_census),
+        }
+    )
+    print_table(
+        "E11: deleted-guard (R3c) recovery",
+        [
+            {
+                "roots": len(affected_roots),
+                "rules": len(result.ruleset),
+                "candidates": result.candidates_evaluated,
+                "cand/s": round(result.candidates_per_second(), 1),
+                "explores": result.explores,
+                "seconds": round(total_seconds, 3),
+            }
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="E11-synth")
+def test_learned_ruleset_census_at_benchmark_scale(benchmark, print_table):
+    algorithm = create_algorithm("shibata-visibility2-synth")
+    start = time.perf_counter()
+    fsync = explore(algorithm=algorithm, mode="fsync", with_witnesses=False)
+    fsync_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    ssync = explore(algorithm=algorithm, mode="ssync", with_witnesses=False)
+    ssync_seconds = time.perf_counter() - start
+
+    # The ROADMAP census, pinned: the repair holds at benchmark scale.
+    assert fsync.root_census == {"gathered": 1, "safe": 3333, "disconnected": 318}
+    assert ssync.root_census.get("collision", 0) == 0
+    assert ssync.root_census.get("livelock", 0) == 0
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    _SYNTH_TIMINGS.update(
+        {
+            "learned_fsync_census": dict(fsync.root_census),
+            "learned_fsync_seconds": round(fsync_seconds, 4),
+            "learned_ssync_census": dict(ssync.root_census),
+            "learned_ssync_seconds": round(ssync_seconds, 4),
+        }
+    )
+    print_table(
+        "E11: committed shibata-visibility2-synth census",
+        [
+            {
+                "fsync ok": fsync.root_census.get("gathered", 0)
+                + fsync.root_census.get("safe", 0),
+                "fsync s": round(fsync_seconds, 3),
+                "ssync ok": ssync.root_census.get("gathered", 0)
+                + ssync.root_census.get("safe", 0),
+                "ssync s": round(ssync_seconds, 3),
+            }
+        ],
+    )
+
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": round(time.time(), 1),
+        "timings": dict(sorted(_SYNTH_TIMINGS.items())),
+    }
+    try:
+        _BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass

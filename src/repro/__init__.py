@@ -70,8 +70,15 @@ from .explore import (
     replay_witness,
 )
 from .grid import Coord, Direction, distance, neighbors
+from .synth import (
+    GuardRule,
+    RuleSet,
+    SynthesisResult,
+    learned_algorithm,
+    synthesize,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -88,15 +95,18 @@ __all__ = [
     "FullySynchronousScheduler",
     "FunctionAlgorithm",
     "GatheringAlgorithm",
+    "GuardRule",
     "NaiveEastAlgorithm",
     "Outcome",
     "RandomSubsetScheduler",
     "RoundRobinScheduler",
+    "RuleSet",
     "RuleTable",
     "RuleTableAlgorithm",
     "ShibataGatheringAlgorithm",
     "StayAlgorithm",
     "SweepCell",
+    "SynthesisResult",
     "TransitionGraph",
     "VerificationReport",
     "View",
@@ -110,9 +120,11 @@ __all__ = [
     "enumerate_connected_configurations",
     "explore",
     "from_offsets",
+    "learned_algorithm",
     "replay_witness",
     "hexagon",
     "line",
+    "synthesize",
     "neighbors",
     "register_algorithm",
     "run_execution",

@@ -1,0 +1,84 @@
+"""Pluggable rule-set composition: a base algorithm plus an extension layer.
+
+The reconstructed guards of :mod:`repro.algorithms.visibility2` follow a
+pattern the synthesis subsystem (:mod:`repro.synth`) generalizes: *never alter
+a move the base rules prescribe, only add moves where the base would stay*.
+:class:`ComposedAlgorithm` is that pattern as a first-class object — the base
+algorithm decides first, and only when it returns ``None`` (stay) is the
+extension consulted.  Additive composition preserves every execution the base
+algorithm already wins: a configuration whose run never hits an extension
+view behaves identically.
+
+The extension can be anything with the compiled guard interface — an object
+with ``compute(view) -> Move`` (e.g. a :class:`repro.synth.dsl.RuleSet`) or a
+plain callable ``View -> Move``.
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+from ..core.algorithm import GatheringAlgorithm, Move
+from ..core.view import View
+
+__all__ = ["ComposedAlgorithm"]
+
+Extension = Union[Callable[[View], Move], GatheringAlgorithm]
+
+
+class ComposedAlgorithm(GatheringAlgorithm):
+    """Base algorithm plus an additive extension consulted on stays.
+
+    Parameters
+    ----------
+    base:
+        The algorithm whose decisions are always honoured.
+    extension:
+        Consulted only when the base decides to stay; an object with
+        ``compute(view)`` or a plain callable.
+    name:
+        Registry/trace name; defaults to ``"<base.name>+<extension name>"``.
+    """
+
+    def __init__(
+        self,
+        base: GatheringAlgorithm,
+        extension: Extension,
+        name: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.extension = extension
+        self.visibility_range = base.visibility_range
+        self.deterministic = getattr(base, "deterministic", True)
+        extension_name = getattr(extension, "name", None) or getattr(
+            extension, "__name__", "extension"
+        )
+        self.name = name or f"{base.name}+{extension_name}"
+        self._extension_compute: Callable[[View], Move] = getattr(
+            extension, "compute", extension
+        )
+
+    # ------------------------------------------------------------------ API
+    def compute(self, view: View) -> Move:
+        move = self.base.compute(view)
+        if move is not None:
+            return move
+        return self._extension_compute(view)
+
+    def explain(self, view: View) -> Tuple[str, Move]:
+        """Like the base algorithm's ``explain``: the firing rule and its move."""
+        if hasattr(self.base, "explain"):
+            rule, move = self.base.explain(view)
+        else:
+            move = self.base.compute(view)
+            rule = "base" if move is not None else "stay"
+        if move is not None:
+            return (rule, move)
+        if hasattr(self.extension, "explain"):
+            ext_rule, ext_move = self.extension.explain(view)
+            if ext_move is not None:
+                return (ext_rule or "extension", ext_move)
+            return (rule, None)
+        ext_move = self._extension_compute(view)
+        if ext_move is not None:
+            return ("extension", ext_move)
+        return (rule, None)

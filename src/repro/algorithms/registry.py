@@ -12,7 +12,7 @@ from ..core.algorithm import GatheringAlgorithm, StayAlgorithm
 from .baselines import FullVisibilityGreedyAlgorithm, NaiveEastAlgorithm
 from .cached import CachedAlgorithm
 from .range1 import CANDIDATE_TABLES, RuleTableAlgorithm
-from .visibility2 import ShibataGatheringAlgorithm
+from .visibility2 import ALL_RULE_IDS, ShibataGatheringAlgorithm
 
 __all__ = ["register_algorithm", "create_algorithm", "available_algorithms"]
 
@@ -54,6 +54,18 @@ def available_algorithms() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def _learned_synth_algorithm() -> GatheringAlgorithm:
+    """Factory for the synthesized repair of the paper's algorithm.
+
+    ``shibata-visibility2`` composed with the committed rule set found by the
+    CEGIS engine (:mod:`repro.synth`); imported lazily so the registry does
+    not pull the synthesis subsystem in at import time.
+    """
+    from ..synth.ruleset import learned_algorithm  # late: avoids an import cycle
+
+    return learned_algorithm()
+
+
 # ---------------------------------------------------------------------------
 # Built-in registrations.
 # ---------------------------------------------------------------------------
@@ -62,6 +74,14 @@ register_algorithm(
     "shibata-visibility2-literal",
     lambda: ShibataGatheringAlgorithm(include_reconstructed=False),
 )
+register_algorithm("shibata-visibility2-synth", _learned_synth_algorithm)
+# Single-rule ablations: the deleted-guard bases the synthesis subsystem
+# repairs in the recovery example (and handy sweep axes on their own).
+for _rule_id in ALL_RULE_IDS:
+    register_algorithm(
+        f"shibata-visibility2[minus-{_rule_id}]",
+        lambda rule_id=_rule_id: ShibataGatheringAlgorithm(disabled_rules=[rule_id]),
+    )
 register_algorithm("full-visibility-greedy", FullVisibilityGreedyAlgorithm)
 register_algorithm("naive-east", NaiveEastAlgorithm)
 register_algorithm("stay", StayAlgorithm)

@@ -15,6 +15,7 @@ from .statistics import (
     rounds_by_diameter,
     success_table,
 )
+from .synth_progress import THEOREM2_TARGET, synth_progress
 from .verification import (
     ConfigurationResult,
     VerificationReport,
@@ -28,6 +29,7 @@ __all__ = [
     "ExecutionMetrics",
     "SearchResult",
     "SimulationProbe",
+    "THEOREM2_TARGET",
     "VerificationReport",
     "compute_metrics",
     "default_gadget_suite",
@@ -41,6 +43,7 @@ __all__ = [
     "search_rule_space",
     "simulate_with_partial_table",
     "success_table",
+    "synth_progress",
     "verify_all_configurations",
     "verify_configuration",
     "verify_configurations",

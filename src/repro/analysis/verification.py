@@ -135,6 +135,7 @@ def verify_all_configurations(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     workers: int = 1,
     chunk_size: int = 128,
+    cache_dir: Optional[str] = None,
 ) -> VerificationReport:
     """Run the paper's exhaustive verification (experiment E2).
 
@@ -156,5 +157,6 @@ def verify_all_configurations(
         max_rounds=max_rounds,
         workers=workers,
         chunk_size=chunk_size,
+        cache_dir=cache_dir,
     )
     return VerificationReport(algorithm_name=batch.algorithm_name, results=batch.results)

@@ -23,6 +23,15 @@ Subcommands
     configuration as gathered/safe/deadlock/livelock/collision/disconnected
     under FSYNC or adversarial SSYNC edges, and print one minimal
     counterexample trace per failing class.
+``synth``
+    Counterexample-guided rule synthesis: repair a base algorithm's missing
+    guard behaviours with the CEGIS engine of :mod:`repro.synth`, validate
+    the result under FSYNC and adversarial SSYNC exploration, and optionally
+    save the synthesized rule set.
+
+Every subcommand documents its exit codes in ``--help``; JSON-producing
+subcommands accept ``--output FILE`` so machine-readable reports never
+interleave with progress text on stdout.
 """
 from __future__ import annotations
 
@@ -34,13 +43,14 @@ from typing import List, Optional, Sequence
 from .algorithms import available_algorithms, create_algorithm
 from .algorithms.range1 import CANDIDATE_TABLES, RuleTableAlgorithm, line_configuration
 from .analysis.impossibility import default_gadget_suite, search_rule_space
+from .analysis.synth_progress import synth_progress
 from .analysis.verification import verify_all_configurations, verify_configurations
 from .core.configuration import Configuration, hexagon, line
 from .core.engine import run_execution
 from .core.runner import run_sweep
 from .enumeration.polyhex import count_connected_configurations
 from .explore import MODES, explore
-from .io.serialization import dumps, exploration_to_dict, report_to_dict, trace_to_dict
+from .io.serialization import dumps, exploration_to_dict, report_to_dict, synthesis_to_dict, trace_to_dict
 from .viz.ascii_art import render_trace, render_witness
 
 __all__ = ["main", "build_parser"]
@@ -63,10 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_enum = sub.add_parser("enumerate", help="count connected initial configurations")
+    p_enum = sub.add_parser(
+        "enumerate",
+        help="count connected initial configurations",
+        epilog="exit codes: 0 always (errors raise non-zero via argparse)",
+    )
     p_enum.add_argument("--size", type=int, default=7, help="number of robots (default 7)")
 
-    p_verify = sub.add_parser("verify", help="exhaustive verification (experiment E2)")
+    p_verify = sub.add_parser(
+        "verify",
+        help="exhaustive verification (experiment E2)",
+        epilog="exit codes: 0 every configuration gathered, 1 otherwise",
+    )
     p_verify.add_argument(
         "--algorithm",
         default="shibata-visibility2",
@@ -76,9 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--size", type=int, default=7)
     p_verify.add_argument("--max-rounds", type=int, default=1000)
     p_verify.add_argument("--workers", type=int, default=1)
+    p_verify.add_argument(
+        "--decision-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent cross-worker decision cache",
+    )
     p_verify.add_argument("--json", action="store_true", help="emit the full JSON report")
 
-    p_trace = sub.add_parser("trace", help="trace one execution (experiment E4)")
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace one execution (experiment E4)",
+        epilog="exit codes: 0 the execution gathered, 1 otherwise",
+    )
     p_trace.add_argument("--algorithm", default="shibata-visibility2", choices=available_algorithms())
     p_trace.add_argument(
         "--config",
@@ -90,11 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--ascii", action="store_true", help="ASCII-only symbols")
     p_trace.add_argument("--json", action="store_true", help="emit the trace as JSON")
 
-    p_r1 = sub.add_parser("range1", help="visibility-range-1 impossibility (experiment E3)")
+    p_r1 = sub.add_parser(
+        "range1",
+        help="visibility-range-1 impossibility (experiment E3)",
+        epilog="exit codes: 0 impossibility refutation complete, 1 search budget exhausted",
+    )
     p_r1.add_argument("--max-nodes", type=int, default=5_000, help="search budget")
     p_r1.add_argument("--skip-search", action="store_true", help="only evaluate candidate tables")
 
-    p_sweep = sub.add_parser("sweep", help="algorithm × scheduler × max-rounds ablation grid")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="algorithm × scheduler × max-rounds ablation grid",
+        epilog="exit codes: 0 the grid ran to completion (regardless of outcomes)",
+    )
     p_sweep.add_argument(
         "--algorithms",
         default="shibata-visibility2",
@@ -121,7 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", action="store_true", help="emit the grid as JSON")
 
     p_explore = sub.add_parser(
-        "explore", help="exhaustive transition-graph model checking"
+        "explore",
+        help="exhaustive transition-graph model checking",
+        epilog="exit codes: 0 every root is gathered or provably safe "
+        "(the Theorem 2 shape), 1 otherwise",
     )
     p_explore.add_argument(
         "--algorithm",
@@ -154,6 +193,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explore.add_argument("--ascii", action="store_true", help="ASCII-only symbols")
     p_explore.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_explore.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the JSON report to FILE (keeps stdout free of JSON; "
+        "implies the JSON payload regardless of --json)",
+    )
+    p_explore.add_argument(
+        "--decision-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent cross-worker decision cache",
+    )
+
+    p_synth = sub.add_parser(
+        "synth",
+        help="counterexample-guided rule synthesis (repair toward Theorem 2)",
+        epilog="exit codes: 0 coverage strictly improved and the result passed "
+        "SSYNC validation (or validation was skipped), 1 no improvement found, "
+        "2 improvement found but SSYNC validation failed",
+    )
+    p_synth.add_argument(
+        "--base",
+        default="shibata-visibility2",
+        choices=available_algorithms(),
+        help="base algorithm whose stays the synthesized rules may override",
+    )
+    p_synth.add_argument("--size", type=int, default=7, help="number of robots (default 7)")
+    p_synth.add_argument(
+        "--max-iterations", type=int, default=8, help="CEGIS iterations (default 8)"
+    )
+    p_synth.add_argument(
+        "--chain-budget",
+        type=int,
+        default=600,
+        help="stuck points the chain search may expand per counterexample",
+    )
+    p_synth.add_argument(
+        "--max-depth", type=int, default=30, help="maximum chain length (default 30)"
+    )
+    p_synth.add_argument(
+        "--branch", type=int, default=6, help="candidates tried per stuck point"
+    )
+    p_synth.add_argument("--workers", type=int, default=1)
+    p_synth.add_argument(
+        "--no-ssync-validate",
+        action="store_true",
+        help="skip the adversarial SSYNC validation pass",
+    )
+    p_synth.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="write the resumable search state to FILE after every iteration",
+    )
+    p_synth.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing --checkpoint file",
+    )
+    p_synth.add_argument(
+        "--save-ruleset",
+        default=None,
+        metavar="FILE",
+        help="save the synthesized rule set as JSON",
+    )
+    p_synth.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the JSON result (summary + progress + rule set) to FILE",
+    )
+    p_synth.add_argument(
+        "--decision-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent cross-worker decision cache",
+    )
+    p_synth.add_argument("--json", action="store_true", help="emit the result as JSON")
+    p_synth.add_argument(
+        "--quiet", action="store_true", help="suppress per-iteration progress lines"
+    )
 
     return parser
 
@@ -180,6 +301,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         size=args.size,
         max_rounds=args.max_rounds,
         workers=args.workers,
+        cache_dir=args.decision_cache,
     )
     if args.json:
         print(dumps(report_to_dict(report)))
@@ -271,6 +393,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_output(path: str, payload: object) -> None:
+    """Write a JSON payload to ``path`` (never interleaved with stdout text)."""
+    with open(path, "w") as handle:
+        handle.write(dumps(payload))
+        handle.write("\n")
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     if args.max_nodes is not None and args.max_nodes < 1:
         raise SystemExit("--max-nodes must be at least 1")
@@ -281,24 +410,71 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         max_nodes=args.max_nodes,
         workers=args.workers,
         with_witnesses=not args.no_witnesses,
+        cache_dir=args.decision_cache,
     )
-    if args.json:
-        print(
-            dumps(
-                exploration_to_dict(
-                    report,
-                    include_witnesses=not args.no_witnesses,
-                    include_nodes=args.include_nodes,
-                )
-            )
+    payload = None
+    if args.json or args.output:
+        payload = exploration_to_dict(
+            report,
+            include_witnesses=not args.no_witnesses,
+            include_nodes=args.include_nodes,
         )
-    else:
+    if args.output:
+        _write_output(args.output, payload)
+    if args.json and not args.output:
+        # JSON on stdout: the payload is the only thing printed.
+        print(dumps(payload))
+    elif not args.json:
         for key, value in report.summary().items():
             print(f"{key}: {value}")
         for kind, witness in sorted(report.witnesses.items()):
             print(f"\n=== minimal {kind} witness ({witness.num_rounds} round(s)) ===")
             print(render_witness(witness, unicode_symbols=not args.ascii))
     return 0 if report.all_roots_gather else 1
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .synth import save_ruleset, synthesize
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    progress = None
+    if not args.quiet:
+        # Progress goes to stderr so --json stdout stays a single JSON payload.
+        progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    try:
+        result = synthesize(
+            base_name=args.base,
+            size=args.size,
+            max_iterations=args.max_iterations,
+            chain_budget=args.chain_budget,
+            max_depth=args.max_depth,
+            branch=args.branch,
+            workers=args.workers,
+            ssync_validate=not args.no_ssync_validate,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            cache_dir=args.decision_cache,
+            progress=progress,
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    payload = synthesis_to_dict(result)
+    payload["progress"] = synth_progress(result)
+    if args.save_ruleset:
+        save_ruleset(result.ruleset, args.save_ruleset)
+    if args.output:
+        _write_output(args.output, payload)
+    if args.json and not args.output:
+        print(dumps(payload))
+    elif not args.json:
+        for key, value in payload["progress"].items():
+            print(f"{key}: {value}")
+    if not result.improved:
+        return 1
+    if result.validated is False:
+        return 2
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -312,6 +488,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "range1": _cmd_range1,
         "sweep": _cmd_sweep,
         "explore": _cmd_explore,
+        "synth": _cmd_synth,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,135 @@
+"""Persistent, cross-worker sharing of the memoized Look–Compute table.
+
+The engine memoizes every deterministic algorithm's Compute phase as a
+``view bitmask -> move`` mapping attached to the algorithm instance
+(:func:`repro.core.engine.decision_cache_for`).  That cache dies with the
+instance — so parallel workers (which rebuild the algorithm from the registry
+once per chunk) and repeated CLI invocations recompute each other's
+decisions from scratch.
+
+This module spills the table to a shared on-disk JSON cache keyed by the
+algorithm's identity (name + visibility range, plus a content hash of the
+name so exotic registry names cannot collide after filename sanitization).
+Workers load the file before executing a chunk and merge their new entries
+back afterwards; merging is last-writer-wins over the *union* of entries and
+the write is atomic (temp file + ``os.replace``), so concurrent workers can
+lose at most the duplicated work of one chunk, never corrupt the file.
+
+The decisions are exact — the bitmask fully determines the view, and the
+algorithm is a deterministic function of the view — so a shared cache entry
+written by any worker is valid for every other worker of the same algorithm.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..grid.directions import Direction
+from .algorithm import GatheringAlgorithm
+from .engine import decision_cache_for
+
+__all__ = [
+    "cache_key",
+    "cache_file",
+    "load_shared_cache",
+    "persist_shared_cache",
+]
+
+_SANITIZE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def cache_key(algorithm: GatheringAlgorithm) -> str:
+    """Stable file-name key for an algorithm's decision cache.
+
+    The digest covers the registry name, the package version and the
+    algorithm's optional ``cache_fingerprint`` (a content hash set by
+    algorithms whose behaviour is data-driven, e.g. a synthesized rule set) —
+    so decisions persisted under one semantics are never adopted by another.
+    A release bump conservatively invalidates all caches; they are an
+    optimization and rebuild on demand.
+    """
+    from .. import __version__  # late: the package initializes core first
+
+    name = algorithm.name
+    fingerprint = getattr(algorithm, "cache_fingerprint", "")
+    digest = hashlib.sha256(
+        f"{name}\x00{__version__}\x00{fingerprint}".encode("utf-8")
+    ).hexdigest()[:8]
+    safe = _SANITIZE.sub("_", name).strip("_") or "algorithm"
+    return f"{safe}.r{algorithm.visibility_range}.{digest}"
+
+
+def cache_file(cache_dir: Union[str, Path], algorithm: GatheringAlgorithm) -> Path:
+    """Path of the shared cache file for ``algorithm`` under ``cache_dir``."""
+    return Path(cache_dir) / f"decisions-{cache_key(algorithm)}.json"
+
+
+def _read_decisions(path: Path) -> Dict[int, Optional[Direction]]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        # Missing or torn file: treat as empty (the cache is an optimization).
+        return {}
+    decisions: Dict[int, Optional[Direction]] = {}
+    for bitmask, name in payload.get("decisions", {}).items():
+        try:
+            decisions[int(bitmask)] = None if name is None else Direction[name]
+        except (KeyError, ValueError):
+            return {}  # unknown direction or key: distrust the whole file
+    return decisions
+
+
+def load_shared_cache(
+    algorithm: GatheringAlgorithm, cache_dir: Union[str, Path]
+) -> int:
+    """Merge the on-disk decisions into the algorithm's in-memory cache.
+
+    Returns the number of entries adopted (0 for non-deterministic
+    algorithms, which must not be memoized, and for missing cache files).
+    """
+    cache = decision_cache_for(algorithm)
+    if cache is None:
+        return 0
+    stored = _read_decisions(cache_file(cache_dir, algorithm))
+    adopted = 0
+    for bitmask, move in stored.items():
+        if bitmask not in cache:
+            cache[bitmask] = move
+            adopted += 1
+    return adopted
+
+
+def persist_shared_cache(
+    algorithm: GatheringAlgorithm, cache_dir: Union[str, Path]
+) -> int:
+    """Write the union of the on-disk and in-memory decisions back to disk.
+
+    Returns the total number of entries written.  The write is atomic; when
+    several workers race, the last writer wins with *its* union — interleaved
+    updates can drop at most the other workers' newest entries, which are
+    recomputed on demand later.
+    """
+    cache = decision_cache_for(algorithm)
+    if cache is None or not cache:
+        return 0
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = cache_file(directory, algorithm)
+    merged = _read_decisions(path)
+    merged.update(cache)
+    payload = {
+        "algorithm": algorithm.name,
+        "visibility_range": algorithm.visibility_range,
+        "decisions": {
+            str(bitmask): None if move is None else move.name
+            for bitmask, move in sorted(merged.items())
+        },
+    }
+    temporary = path.with_suffix(f".tmp.{os.getpid()}")
+    temporary.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(temporary, path)
+    return len(merged)

@@ -148,7 +148,7 @@ def run_chunked_tasks(
             yield result
 
 
-_ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str]
+_ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str, Optional[str]]
 
 
 def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
@@ -156,18 +156,30 @@ def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
 
     The payload carries only picklable primitives (names, specs and node
     tuples); the algorithm and scheduler are rebuilt here, once per chunk.
+    With a ``cache_dir`` the worker adopts the shared on-disk decision cache
+    before executing and merges its new decisions back afterwards, so
+    parallel workers stop recomputing each other's Look–Compute table.
     """
-    algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel = payload
+    algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel, cache_dir = payload
     from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
 
     algorithm = create_algorithm(algorithm_name)
+    if cache_dir is not None:
+        from .decision_cache import load_shared_cache  # late: avoids an import cycle
+
+        load_shared_cache(algorithm, cache_dir)
     scheduler = scheduler_from_spec(scheduler_spec)
-    return [
+    results = [
         execute_configuration(
             nodes, algorithm, scheduler=scheduler, max_rounds=max_rounds, kernel=kernel
         )
         for nodes in node_tuples
     ]
+    if cache_dir is not None:
+        from .decision_cache import persist_shared_cache
+
+        persist_shared_cache(algorithm, cache_dir)
+    return results
 
 
 def _node_tuples(configurations: Iterable[ConfigurationLike]) -> List[NodeTuple]:
@@ -189,6 +201,7 @@ def iter_result_chunks(
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     kernel: str = "packed",
+    cache_dir: Optional[str] = None,
 ) -> Iterator[List[ConfigurationResult]]:
     """Execute every configuration, yielding results chunk by chunk, in order.
 
@@ -197,6 +210,9 @@ def iter_result_chunks(
     that path requires ``algorithm_name`` (algorithms are rebuilt from the
     registry inside each worker) and, when a scheduler is wanted, a textual
     scheduler spec (see :func:`~repro.core.scheduler.scheduler_from_spec`).
+    ``cache_dir`` names a directory for the persistent cross-worker decision
+    cache (:mod:`repro.core.decision_cache`); both the serial and the
+    parallel path adopt it on entry and merge their decisions back.
     """
     if (algorithm is None) == (algorithm_name is None):
         raise ValueError("provide exactly one of algorithm / algorithm_name")
@@ -208,6 +224,10 @@ def iter_result_chunks(
             from ..algorithms.registry import create_algorithm  # late: import cycle
 
             algorithm = create_algorithm(algorithm_name)
+        if cache_dir is not None:
+            from .decision_cache import load_shared_cache  # late: import cycle
+
+            load_shared_cache(algorithm, cache_dir)
         scheduler_obj = scheduler_from_spec(scheduler)
         chunk: List[ConfigurationResult] = []
         for item in configurations:
@@ -225,6 +245,10 @@ def iter_result_chunks(
                 chunk = []
         if chunk:
             yield chunk
+        if cache_dir is not None:
+            from .decision_cache import persist_shared_cache
+
+            persist_shared_cache(algorithm, cache_dir)
         return
 
     if algorithm_name is None:
@@ -236,7 +260,14 @@ def iter_result_chunks(
 
     node_tuples = _node_tuples(configurations)
     payloads: List[_ChunkPayload] = [
-        (algorithm_name, scheduler, node_tuples[i : i + chunk_size], max_rounds, kernel)
+        (
+            algorithm_name,
+            scheduler,
+            node_tuples[i : i + chunk_size],
+            max_rounds,
+            kernel,
+            None if cache_dir is None else str(cache_dir),
+        )
         for i in range(0, len(node_tuples), chunk_size)
     ]
     yield from run_chunked_tasks(payloads, _execute_chunk, workers=workers)
@@ -299,6 +330,7 @@ def run_many(
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     kernel: str = "packed",
+    cache_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> ExecutionBatch:
     """Execute every configuration and collect the results into a batch.
@@ -340,6 +372,7 @@ def run_many(
         workers=workers,
         chunk_size=effective_chunk,
         kernel=kernel,
+        cache_dir=cache_dir,
     ):
         batch.results.extend(chunk)
         if progress is not None:

@@ -81,6 +81,7 @@ def explore(
     chunk_size: int = 256,
     require_connectivity: bool = True,
     with_witnesses: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> ExplorationReport:
     """Explore, classify and witness in one call.
 
@@ -103,6 +104,7 @@ def explore(
         workers=workers,
         chunk_size=chunk_size,
         require_connectivity=require_connectivity,
+        cache_dir=cache_dir,
     )
     start = time.perf_counter()
     classification = classify(graph)

@@ -202,19 +202,33 @@ def expand_packed(
 # Graph construction (serial or parallel frontier expansion).
 # ---------------------------------------------------------------------------
 
-_ExpandPayload = Tuple[str, str, List[int], bool]
+_ExpandPayload = Tuple[str, str, List[int], bool, Optional[str]]
 
 
 def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], Optional[str]]]:
-    """Worker entry point: expand one chunk of packed vertices."""
-    algorithm_name, mode, packed_list, require_connectivity = payload
+    """Worker entry point: expand one chunk of packed vertices.
+
+    With a ``cache_dir`` the worker shares the on-disk decision cache
+    (:mod:`repro.core.decision_cache`), so frontier chunks expanded by
+    different processes stop recomputing each other's Look–Compute table.
+    """
+    algorithm_name, mode, packed_list, require_connectivity, cache_dir = payload
     from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
 
     algorithm = create_algorithm(algorithm_name)
-    return [
+    if cache_dir is not None:
+        from ..core.decision_cache import load_shared_cache  # late: avoids an import cycle
+
+        load_shared_cache(algorithm, cache_dir)
+    results = [
         (packed, *expand_packed(packed, algorithm, mode, require_connectivity))
         for packed in packed_list
     ]
+    if cache_dir is not None:
+        from ..core.decision_cache import persist_shared_cache
+
+        persist_shared_cache(algorithm, cache_dir)
+    return results
 
 
 def _pack_roots(roots: Iterable[ConfigurationLike]) -> Tuple[int, ...]:
@@ -238,6 +252,7 @@ def build_transition_graph(
     workers: int = 1,
     chunk_size: int = 256,
     require_connectivity: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> TransitionGraph:
     """Explore the transition graph reachable from ``roots`` exhaustively.
 
@@ -263,6 +278,10 @@ def build_transition_graph(
 
         algorithm = create_algorithm(algorithm_name)
     resolved_name = algorithm_name or algorithm.name
+    if cache_dir is not None:
+        from ..core.decision_cache import load_shared_cache  # late: avoids an import cycle
+
+        load_shared_cache(algorithm, cache_dir)
 
     start = time.perf_counter()
     packed_roots = _pack_roots(roots)
@@ -293,7 +312,13 @@ def build_transition_graph(
             batch, frontier = frontier[:take], frontier[take:]
             if pool is not None and len(batch) > chunk_size:
                 payloads: List[_ExpandPayload] = [
-                    (resolved_name, mode, batch[i : i + chunk_size], require_connectivity)
+                    (
+                        resolved_name,
+                        mode,
+                        batch[i : i + chunk_size],
+                        require_connectivity,
+                        None if cache_dir is None else str(cache_dir),
+                    )
                     for i in range(0, len(batch), chunk_size)
                 ]
                 chunks = run_chunked_tasks(payloads, _expand_chunk, pool=pool)
@@ -317,6 +342,11 @@ def build_transition_graph(
         if pool is not None:
             pool.terminate()
             pool.join()
+
+    if cache_dir is not None:
+        from ..core.decision_cache import persist_shared_cache
+
+        persist_shared_cache(algorithm, cache_dir)
 
     graph.unexplored = frozenset(frontier)
     graph.elapsed_seconds = time.perf_counter() - start

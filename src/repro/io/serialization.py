@@ -35,6 +35,9 @@ __all__ = [
     "witness_to_dict",
     "witness_from_dict",
     "exploration_to_dict",
+    "synthesis_to_dict",
+    "save_synthesis_checkpoint",
+    "load_synthesis_checkpoint",
     "dumps",
     "loads_configuration",
 ]
@@ -192,6 +195,109 @@ def exploration_to_dict(
             for packed, cls in sorted(report.classification.node_class.items())
         }
     return payload
+
+
+# ---------------------------------------------------------------------------
+# Synthesis artefacts: results and resumable checkpoints.
+# ---------------------------------------------------------------------------
+
+def _iteration_record_to_dict(record) -> Dict[str, Any]:
+    """Plain-dict form of one :class:`repro.synth.IterationRecord`."""
+    return {
+        "index": record.index,
+        "counterexamples": record.counterexamples,
+        "proposed": record.proposed,
+        "committed": record.committed,
+        "expansions": record.expansions,
+        "explores": record.explores,
+        "census": dict(record.census),
+        "seconds": record.seconds,
+    }
+
+
+def synthesis_to_dict(result, include_ruleset: bool = True) -> Dict[str, Any]:
+    """Plain-dict form of a :class:`repro.synth.SynthesisResult`."""
+    payload: Dict[str, Any] = dict(result.summary())
+    payload["iteration_history"] = [
+        _iteration_record_to_dict(record) for record in result.iterations
+    ]
+    if include_ruleset:
+        payload["ruleset"] = result.ruleset.to_dict()
+    return payload
+
+
+def save_synthesis_checkpoint(
+    path,
+    base: str,
+    assigned: Dict[int, Any],
+    blocked,
+    iterations,
+    candidates_evaluated: int,
+    explores: int,
+    base_census: Dict[str, int],
+    census: Dict[str, int],
+) -> None:
+    """Persist the full CEGIS search state as JSON (atomically).
+
+    The checkpoint carries everything :func:`repro.synth.synthesize` needs to
+    resume: the committed assignments, the refuted (blocked) pairs and the
+    iteration history, plus the censuses for progress reporting.
+    """
+    import os
+
+    payload = {
+        "version": 1,
+        "base": base,
+        "assigned": {str(bitmask): direction.name for bitmask, direction in assigned.items()},
+        "blocked": sorted([bitmask, name] for bitmask, name in blocked),
+        "iterations": [_iteration_record_to_dict(record) for record in iterations],
+        "candidates_evaluated": candidates_evaluated,
+        "explores": explores,
+        "base_census": dict(base_census),
+        "census": dict(census),
+    }
+    path = str(path)
+    temporary = f"{path}.tmp"
+    with open(temporary, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temporary, path)
+
+
+def load_synthesis_checkpoint(path) -> Dict[str, Any]:
+    """Invert :func:`save_synthesis_checkpoint` into live search state."""
+    from ..grid.directions import Direction
+    from ..synth.cegis import IterationRecord  # late: avoids an import cycle
+
+    with open(str(path)) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported checkpoint version: {payload.get('version')!r}")
+    return {
+        "base": payload["base"],
+        "assigned": {
+            int(bitmask): Direction[name]
+            for bitmask, name in payload["assigned"].items()
+        },
+        "blocked": {(int(bitmask), str(name)) for bitmask, name in payload["blocked"]},
+        "iterations": [
+            IterationRecord(
+                index=record["index"],
+                counterexamples=record["counterexamples"],
+                proposed=record["proposed"],
+                committed=record["committed"],
+                expansions=record["expansions"],
+                explores=record["explores"],
+                census=tuple(sorted(record["census"].items())),
+                seconds=record["seconds"],
+            )
+            for record in payload["iterations"]
+        ],
+        "candidates_evaluated": payload["candidates_evaluated"],
+        "explores": payload["explores"],
+        "base_census": payload["base_census"],
+        "census": payload["census"],
+    }
 
 
 def dumps(payload: Any, indent: int = 2) -> str:

@@ -1,0 +1,489 @@
+"""The counterexample-guided inductive synthesis (CEGIS) loop.
+
+One iteration of :func:`synthesize` is the classic CEGIS triangle applied to
+the Theorem 2 correctness gap:
+
+1. **Verify** — exhaustively model-check the current composed rule set with
+   the transition-graph explorer (:mod:`repro.explore`).  The analyzer
+   verdicts are the fitness signal: the number of roots classified gathered
+   or safe, and the terminal deadlock vertices are the counterexamples.
+2. **Synthesize** — run the chain-repair search (:mod:`repro.synth.search`)
+   from every counterexample, scoring candidates with fast targeted replay of
+   the counterexample's own path before paying for any full sweep.
+3. **Refine** — trial-commit the proposed assignments against a fresh
+   exhaustive exploration.  A batch that introduces a collision or livelock
+   class, or fails to improve coverage, is bisected down to the offending
+   assignments, which are *blocked*; the next iteration's search routes
+   around them.
+
+After the FSYNC loop reaches a fixpoint the surviving rule set is re-verified
+under adversarial SSYNC edges.  Any rule that fires in an SSYNC collision or
+livelock witness is blamed, removed and blocked, and the FSYNC loop resumes —
+so a returned result with ``validated=True`` is exhaustively collision- and
+livelock-free under *every* activation schedule, not just FSYNC.
+
+Long searches checkpoint their full state (assignments, blocked pairs,
+iteration history) as JSON after every iteration and can resume from it.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.algorithm import GatheringAlgorithm
+from ..core.runner import ConfigurationLike
+from ..explore.report import ExplorationReport, explore
+from ..explore.transitions import TERMINAL_DEADLOCK, TransitionGraph
+from ..grid.directions import Direction
+from ..grid.packing import view_bitmask
+from .dsl import RuleSet
+from .ruleset import OverrideAlgorithm, overrides_to_ruleset, ruleset_algorithm
+from .search import Assignment, propose_chains
+
+__all__ = ["IterationRecord", "SynthesisResult", "result_algorithm", "synthesize"]
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """What one CEGIS iteration saw and did."""
+
+    #: Iteration index (0-based).
+    index: int
+    #: Number of terminal deadlock counterexamples at the start.
+    counterexamples: int
+    #: Assignments the chain search proposed.
+    proposed: int
+    #: Assignments that survived trial-commit.
+    committed: int
+    #: Stuck points the chain search expanded (candidates evaluated).
+    expansions: int
+    #: Exhaustive explorations spent on trial-commits this iteration.
+    explores: int
+    #: Root census after the iteration.
+    census: Tuple[Tuple[str, int], ...]
+    #: Wall-clock seconds for the iteration.
+    seconds: float
+
+
+@dataclass
+class SynthesisResult:
+    """Everything one synthesis run produced."""
+
+    #: Name of the base algorithm the repair extends.
+    base_name: str
+    #: The synthesized exact-view rule set (may be empty if nothing committed).
+    ruleset: RuleSet
+    #: Root census of the base algorithm (FSYNC).
+    base_census: Dict[str, int] = field(default_factory=dict)
+    #: Root census of the composed algorithm (FSYNC).
+    final_census: Dict[str, int] = field(default_factory=dict)
+    #: Root census of the composed algorithm under adversarial SSYNC edges
+    #: (``None`` when SSYNC validation was skipped).
+    ssync_census: Optional[Dict[str, int]] = None
+    #: Per-iteration history.
+    iterations: List[IterationRecord] = field(default_factory=list)
+    #: Refuted ``(bitmask, direction name)`` pairs.
+    blocked: Set[Tuple[int, str]] = field(default_factory=set)
+    #: Total stuck points expanded by the chain search.
+    candidates_evaluated: int = 0
+    #: Total exhaustive explorations spent (verification cost).
+    explores: int = 0
+    #: Wall-clock seconds for the whole run.
+    elapsed_seconds: float = 0.0
+    #: Whether SSYNC validation ran and ended collision- and livelock-free.
+    validated: Optional[bool] = None
+
+    # ------------------------------------------------------------- aggregates
+    @staticmethod
+    def _ok(census: Dict[str, int]) -> int:
+        return census.get("gathered", 0) + census.get("safe", 0)
+
+    @property
+    def base_ok(self) -> int:
+        """Roots the base algorithm gathers (gathered + provably safe)."""
+        return self._ok(self.base_census)
+
+    @property
+    def final_ok(self) -> int:
+        """Roots the composed algorithm gathers (gathered + provably safe)."""
+        return self._ok(self.final_census)
+
+    @property
+    def improved(self) -> bool:
+        """Whether the repair strictly increased coverage."""
+        return self.final_ok > self.base_ok
+
+    def candidates_per_second(self) -> float:
+        """Chain-search stuck points expanded per wall-clock second."""
+        return (
+            self.candidates_evaluated / self.elapsed_seconds
+            if self.elapsed_seconds
+            else 0.0
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict summary used by the CLI, checkpoints and benchmarks."""
+        return {
+            "base": self.base_name,
+            "rules": len(self.ruleset),
+            "base_census": dict(self.base_census),
+            "final_census": dict(self.final_census),
+            "ssync_census": None if self.ssync_census is None else dict(self.ssync_census),
+            "base_ok": self.base_ok,
+            "final_ok": self.final_ok,
+            "improved": self.improved,
+            "validated": self.validated,
+            "iterations": len(self.iterations),
+            "candidates_evaluated": self.candidates_evaluated,
+            "explores": self.explores,
+            "blocked": len(self.blocked),
+            "candidates_per_second": round(self.candidates_per_second(), 1),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Helpers.
+# ---------------------------------------------------------------------------
+
+def _ok(census: Dict[str, int]) -> int:
+    return census.get("gathered", 0) + census.get("safe", 0)
+
+
+def _bad(census: Dict[str, int]) -> int:
+    return census.get("collision", 0) + census.get("livelock", 0)
+
+
+def _terminals_by_mass(graph: TransitionGraph) -> List[int]:
+    """Terminal deadlock vertices, heaviest first.
+
+    Mass is the number of roots whose (functional FSYNC) path settles in the
+    terminal — repairing a heavy terminal rescues many roots at once, which
+    is the priority part of the outer search.
+    """
+    settles_in: Dict[int, Optional[int]] = {}
+
+    def settle(vertex: int) -> Optional[int]:
+        path: List[int] = []
+        current = vertex
+        while True:
+            if current in settles_in:
+                result = settles_in[current]
+                break
+            kind = graph.terminal.get(current)
+            if kind is not None:
+                result = current if kind == TERMINAL_DEADLOCK else None
+                break
+            path.append(current)
+            edges = graph.successors(current)
+            successors = [dst for _, dst in edges if dst >= 0]
+            if not successors or current in successors:
+                result = None  # sink edge or self-loop: not a deadlock path
+                break
+            current = successors[0]
+            if current in path:
+                result = None  # cycle (livelock); no deadlock terminal
+                break
+        for vertex_on_path in path:
+            settles_in[vertex_on_path] = result
+        return result
+
+    mass: Dict[int, int] = {}
+    for root in graph.roots:
+        terminal = settle(root)
+        if terminal is not None:
+            mass[terminal] = mass.get(terminal, 0) + 1
+    for packed, kind in graph.terminal.items():
+        if kind == TERMINAL_DEADLOCK:
+            mass.setdefault(packed, 0)
+    return sorted(mass, key=lambda packed: (-mass[packed], packed))
+
+
+def _fired_assignments(
+    witness, base: GatheringAlgorithm, assigned: Assignment
+) -> Set[int]:
+    """The override bitmasks that actually fire along a witness trace.
+
+    A rule fires when a mover's view bitmask is assigned and the base
+    algorithm would have stayed — the blame set for SSYNC refinement.
+    """
+    from ..core.view import View
+
+    fired: Set[int] = set()
+    for step in witness.steps:
+        movers = {tuple(pos) for pos, _ in step.moves}
+        for pos in step.configuration:
+            if tuple(pos) not in movers:
+                continue
+            bitmask = view_bitmask(step.configuration, pos, base.visibility_range)
+            if bitmask in assigned and base.compute(
+                View.from_bitmask(bitmask, base.visibility_range)
+            ) is None:
+                fired.add(bitmask)
+    return fired
+
+
+# ---------------------------------------------------------------------------
+# The loop.
+# ---------------------------------------------------------------------------
+
+def synthesize(
+    base: Optional[GatheringAlgorithm] = None,
+    base_name: Optional[str] = None,
+    roots: Optional[Sequence[ConfigurationLike]] = None,
+    size: int = 7,
+    max_iterations: int = 8,
+    chain_budget: int = 600,
+    max_depth: int = 30,
+    branch: int = 6,
+    workers: int = 1,
+    ssync_validate: bool = True,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    ruleset_name: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Progress] = None,
+) -> SynthesisResult:
+    """Run the CEGIS loop and return the best-found repair.
+
+    Exactly one of ``base`` / ``base_name`` must be given (the named form is
+    required for ``workers > 1``, mirroring the batch runner).  ``roots``
+    restricts the state space (default: the exhaustive enumeration of
+    ``size``-robot connected configurations).  ``checkpoint_path`` persists
+    the search state as JSON after every iteration; with ``resume=True`` an
+    existing checkpoint seeds the assignments and blocked pairs, so
+    interrupted long searches continue instead of restarting.  ``cache_dir``
+    shares the base algorithm's memoized Look–Compute table on disk
+    (:mod:`repro.core.decision_cache`) across the run's exhaustive
+    explorations, worker processes and repeated invocations.
+    """
+    if (base is None) == (base_name is None):
+        raise ValueError("provide exactly one of base / base_name")
+    if base is None:
+        from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+        base = create_algorithm(base_name)
+    resolved_base_name = base_name or base.name
+    if cache_dir is not None:
+        from ..core.decision_cache import load_shared_cache
+
+        load_shared_cache(base, cache_dir)
+
+    say = progress or (lambda message: None)
+    start = time.perf_counter()
+
+    assigned: Assignment = {}
+    blocked: Set[Tuple[int, str]] = set()
+    iterations: List[IterationRecord] = []
+    candidates_evaluated = 0
+    explores = 0
+    resumed_base_census: Optional[Dict[str, int]] = None
+
+    if resume:
+        if checkpoint_path is None or not Path(checkpoint_path).exists():
+            raise FileNotFoundError(
+                f"cannot resume: checkpoint {checkpoint_path!r} does not exist"
+            )
+        from ..io.serialization import load_synthesis_checkpoint
+
+        state = load_synthesis_checkpoint(checkpoint_path)
+        if state["base"] != resolved_base_name:
+            raise ValueError(
+                f"checkpoint was written for base {state['base']!r}, "
+                f"not {resolved_base_name!r}"
+            )
+        assigned = state["assigned"]
+        blocked = state["blocked"]
+        iterations = state["iterations"]
+        candidates_evaluated = state["candidates_evaluated"]
+        explores = state["explores"]
+        resumed_base_census = dict(state["base_census"])
+        say(f"resumed checkpoint: {len(assigned)} rules, {len(blocked)} blocked")
+
+    def checkpoint(census: Dict[str, int], base_census: Dict[str, int]) -> None:
+        if checkpoint_path is None:
+            return
+        from ..io.serialization import save_synthesis_checkpoint
+
+        save_synthesis_checkpoint(
+            checkpoint_path,
+            base=resolved_base_name,
+            assigned=assigned,
+            blocked=blocked,
+            iterations=iterations,
+            candidates_evaluated=candidates_evaluated,
+            explores=explores,
+            base_census=base_census,
+            census=census,
+        )
+
+    def explore_current(mode: str, with_witnesses: bool = False) -> ExplorationReport:
+        nonlocal explores
+        explores += 1
+        return explore(
+            algorithm=OverrideAlgorithm(base, assigned),
+            roots=roots,
+            size=size,
+            mode=mode,
+            with_witnesses=with_witnesses,
+        )
+
+    if resumed_base_census is not None:
+        # The checkpoint already paid for the base exploration.
+        base_census = resumed_base_census
+        report = explore_current("fsync")
+    else:
+        base_report = explore(
+            algorithm=base, roots=roots, size=size, mode="fsync", with_witnesses=False
+        )
+        explores += 1
+        base_census = dict(base_report.root_census)
+        report = base_report if not assigned else explore_current("fsync")
+    say(f"base census: {base_census}")
+    best = _ok(report.root_census)
+
+    # ------------------------------------------------------------ FSYNC loop
+    def run_fsync_loop() -> None:
+        nonlocal report, best, candidates_evaluated, explores
+        for index in range(max_iterations):
+            iteration_start = time.perf_counter()
+            iteration_explores_before = explores
+            terminals = _terminals_by_mass(report.graph)
+            if not terminals:
+                break
+            pending, expansions = propose_chains(
+                terminals,
+                base,
+                assigned,
+                blocked,
+                base_name=base_name,
+                budget=chain_budget,
+                max_depth=max_depth,
+                branch=branch,
+                workers=workers,
+            )
+            candidates_evaluated += expansions
+            if not pending:
+                say(f"iteration {len(iterations)}: no repair chains found")
+                break
+
+            blocked_before = len(blocked)
+            committed = _commit_bisect(pending)
+            record = IterationRecord(
+                index=len(iterations),
+                counterexamples=len(terminals),
+                proposed=len(pending),
+                committed=committed,
+                expansions=expansions,
+                explores=explores - iteration_explores_before,
+                census=tuple(sorted(report.root_census.items())),
+                seconds=round(time.perf_counter() - iteration_start, 3),
+            )
+            iterations.append(record)
+            say(
+                f"iteration {record.index}: {record.counterexamples} counterexamples, "
+                f"proposed {record.proposed}, committed {record.committed}, "
+                f"census {dict(record.census)}"
+            )
+            checkpoint(dict(report.root_census), base_census)
+            if committed == 0 and len(blocked) == blocked_before:
+                break
+
+    def _commit_bisect(pending: Assignment) -> int:
+        """Trial-commit ``pending`` with bisection blame; returns commits."""
+        nonlocal report, best
+        committed = 0
+
+        def attempt(items: List[Tuple[int, Direction]]) -> None:
+            nonlocal committed, report, best
+            if not items:
+                return
+            for bitmask, direction in items:
+                assigned[bitmask] = direction
+            trial = explore_current("fsync")
+            census = trial.root_census
+            if _bad(census) == 0 and _ok(census) > best:
+                report, best = trial, _ok(census)
+                committed += len(items)
+                return
+            for bitmask, _ in items:
+                del assigned[bitmask]
+            if len(items) == 1:
+                bitmask, direction = items[0]
+                blocked.add((bitmask, direction.name))
+                return
+            middle = len(items) // 2
+            attempt(items[:middle])
+            attempt(items[middle:])
+
+        attempt(sorted(pending.items()))
+        return committed
+
+    run_fsync_loop()
+
+    # ------------------------------------------------- SSYNC refinement loop
+    validated: Optional[bool] = None
+    ssync_census: Optional[Dict[str, int]] = None
+    if ssync_validate:
+        for _ in range(max(len(assigned), 1)):
+            ssync_report = explore_current("ssync", with_witnesses=True)
+            ssync_census = dict(ssync_report.root_census)
+            if _bad(ssync_census) == 0:
+                validated = True
+                break
+            blamed: Set[int] = set()
+            for kind in ("collision", "livelock"):
+                witness = ssync_report.witnesses.get(kind)
+                if witness is not None:
+                    blamed |= _fired_assignments(witness, base, assigned)
+            say(f"ssync refinement: census {ssync_census}, blaming {len(blamed)} rules")
+            if not blamed:
+                validated = False  # cannot attribute the failure to a rule
+                break
+            for bitmask in blamed:
+                blocked.add((bitmask, assigned[bitmask].name))
+                del assigned[bitmask]
+            report = explore_current("fsync")
+            best = _ok(report.root_census)
+            run_fsync_loop()
+        else:
+            validated = False
+        checkpoint(dict(report.root_census), base_census)
+
+    if cache_dir is not None:
+        from ..core.decision_cache import persist_shared_cache
+
+        persist_shared_cache(base, cache_dir)
+
+    name = ruleset_name or f"synth[{resolved_base_name}]"
+    result = SynthesisResult(
+        base_name=resolved_base_name,
+        ruleset=overrides_to_ruleset(assigned, name, base.visibility_range),
+        base_census=base_census,
+        final_census=dict(report.root_census),
+        ssync_census=ssync_census,
+        iterations=iterations,
+        blocked=blocked,
+        candidates_evaluated=candidates_evaluated,
+        explores=explores,
+        elapsed_seconds=time.perf_counter() - start,
+        validated=validated,
+    )
+    say(
+        f"done: {result.base_ok} -> {result.final_ok} of "
+        f"{sum(result.final_census.values())} roots with {len(result.ruleset)} rules"
+    )
+    return result
+
+
+def result_algorithm(result: SynthesisResult, base: Optional[GatheringAlgorithm] = None):
+    """Compose the base with a synthesis result's rule set."""
+    if base is None:
+        from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+        base = create_algorithm(result.base_name)
+    return ruleset_algorithm(base, result.ruleset)

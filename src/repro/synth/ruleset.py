@@ -1,0 +1,181 @@
+"""Rule-set materialization: assignments <-> DSL rules <-> algorithms.
+
+The chain search (:mod:`repro.synth.search`) works on raw assignments
+(``view bitmask -> direction``) because that is the fastest executable form;
+the committed artefact of a synthesis run is a declarative
+:class:`~repro.synth.dsl.RuleSet` serialized to JSON.  This module converts
+between the two and loads the best rule set found so far, which the registry
+exposes as the ``shibata-visibility2-synth`` algorithm.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..algorithms.composed import ComposedAlgorithm
+from ..core.algorithm import GatheringAlgorithm, Move
+from ..core.engine import decision_cache_for
+from ..core.view import View
+from ..grid.directions import Direction
+from .dsl import GuardRule, RuleSet
+
+__all__ = [
+    "LEARNED_RULESET_PATH",
+    "OverrideAlgorithm",
+    "overrides_to_ruleset",
+    "ruleset_to_overrides",
+    "ruleset_algorithm",
+    "load_ruleset",
+    "save_ruleset",
+    "learned_ruleset",
+    "learned_algorithm",
+]
+
+#: The committed best-found repair for ``shibata-visibility2`` (see ROADMAP).
+LEARNED_RULESET_PATH = Path(__file__).resolve().parent / "data" / "learned_visibility2.json"
+
+
+class OverrideAlgorithm(GatheringAlgorithm):
+    """The search-time composition: base plus raw ``bitmask -> move`` overrides.
+
+    Functionally identical to composing the base with the exact-view rule set
+    of :func:`overrides_to_ruleset`, but skips the DSL interpreter in the
+    inner simulation loop.  Base decisions are memoized through the *base*
+    instance's decision cache, so thousands of trial compositions sharing one
+    base amortize the expensive hand-written guard evaluation.
+    """
+
+    def __init__(
+        self,
+        base: GatheringAlgorithm,
+        overrides: Dict[int, Direction],
+        name: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.overrides = dict(overrides)
+        self.visibility_range = base.visibility_range
+        self.deterministic = getattr(base, "deterministic", True)
+        self.name = name or f"{base.name}+overrides[{len(self.overrides)}]"
+        # Distinguish same-named compositions with different contents for the
+        # persistent decision cache (see repro.core.decision_cache.cache_key).
+        self.cache_fingerprint = ",".join(
+            f"{bitmask:x}:{direction.name}"
+            for bitmask, direction in sorted(self.overrides.items())
+        )
+
+    def compute(self, view: View) -> Move:
+        bitmask = view.bitmask()
+        cache = decision_cache_for(self.base)
+        if cache is None:
+            move = self.base.compute(view)
+        else:
+            try:
+                move = cache[bitmask]
+            except KeyError:
+                move = self.base.compute(view)
+                cache[bitmask] = move
+        if move is not None:
+            return move
+        return self.overrides.get(bitmask)
+
+
+def overrides_to_ruleset(
+    overrides: Dict[int, Direction],
+    name: str,
+    visibility_range: int = 2,
+) -> RuleSet:
+    """Express raw assignments as a declarative exact-view rule set.
+
+    Rules are emitted in deterministic (bitmask-sorted) order; exact-view
+    conjunctions are mutually exclusive, so the order never changes behaviour.
+    """
+    rules = tuple(
+        GuardRule(
+            rule_id=f"synth:view:{bitmask:#x}->{overrides[bitmask].name}",
+            atoms=(("view_eq", bitmask),),
+            direction=overrides[bitmask],
+            visibility_range=visibility_range,
+        )
+        for bitmask in sorted(overrides)
+    )
+    return RuleSet(name=name, rules=rules)
+
+
+def ruleset_to_overrides(ruleset: RuleSet) -> Dict[int, Direction]:
+    """Invert :func:`overrides_to_ruleset` for pure exact-view rule sets.
+
+    Raises
+    ------
+    ValueError
+        If a rule is not a single ``view_eq`` conjunction (general DSL rules
+        cover many views and have no unique assignment form).
+    """
+    overrides: Dict[int, Direction] = {}
+    for rule in ruleset.rules:
+        if len(rule.atoms) != 1 or rule.atoms[0][0] != "view_eq":
+            raise ValueError(
+                f"rule {rule.rule_id!r} is not an exact-view rule; "
+                "cannot convert to overrides"
+            )
+        overrides[rule.atoms[0][1]] = rule.direction
+    return overrides
+
+
+def ruleset_algorithm(
+    base: GatheringAlgorithm, ruleset: RuleSet, name: Optional[str] = None
+) -> ComposedAlgorithm:
+    """Compose ``base`` with a rule set under the standard additive semantics.
+
+    The composition carries a ``cache_fingerprint`` derived from the rule-set
+    content, so the persistent decision cache
+    (:mod:`repro.core.decision_cache`) never serves decisions of an older
+    rule set under the same registered name.
+    """
+    algorithm = ComposedAlgorithm(base, ruleset, name=name or f"{base.name}+{ruleset.name}")
+    algorithm.cache_fingerprint = _ruleset_fingerprint(ruleset)
+    return algorithm
+
+
+def _ruleset_fingerprint(ruleset: RuleSet) -> str:
+    import hashlib
+
+    text = json.dumps(ruleset.to_dict(), sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Persistence.
+# ---------------------------------------------------------------------------
+
+def save_ruleset(ruleset: RuleSet, path: Union[str, Path]) -> None:
+    """Write a rule set as indented, sorted JSON (stable diffs)."""
+    Path(path).write_text(
+        json.dumps(ruleset.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_ruleset(path: Union[str, Path]) -> RuleSet:
+    """Load a rule set written by :func:`save_ruleset`."""
+    return RuleSet.from_dict(json.loads(Path(path).read_text()))
+
+
+def learned_ruleset() -> RuleSet:
+    """The committed best-found repair rule set for ``shibata-visibility2``."""
+    return load_ruleset(LEARNED_RULESET_PATH)
+
+
+def learned_algorithm() -> ComposedAlgorithm:
+    """The registered ``shibata-visibility2-synth`` algorithm.
+
+    ``shibata-visibility2`` composed with the committed learned rule set; its
+    census against the 3652-root state space is recorded in ROADMAP.md and
+    pinned by the tier-1 tests.
+    """
+    from ..algorithms.visibility2 import ShibataGatheringAlgorithm
+
+    return ruleset_algorithm(
+        ShibataGatheringAlgorithm(),
+        learned_ruleset(),
+        name="shibata-visibility2-synth",
+    )

@@ -1,0 +1,286 @@
+"""Candidate generation and chain repair search for the CEGIS loop.
+
+The explorer census is the seed: every terminal deadlock vertex of the
+transition graph is a concrete counterexample where *every* robot's rule says
+stay.  For each such configuration the finite set of DSL rules that could
+unstick it is enumerable — one candidate per (robot view, empty adjacent
+node) pair that passes the local safety guards — and because a deterministic
+algorithm is exactly a function ``view bitmask -> move``, a candidate can be
+expressed as an exact-view :class:`~repro.synth.dsl.GuardRule` that provably
+affects no other view.
+
+A single rule is rarely enough: the rescued configuration usually walks into
+another deadlock a few rounds later.  :func:`repair_chain` therefore searches
+*chains* of assignments — a depth-first search over quiescent configurations
+that picks one new ``view -> move`` assignment per stuck point, simulates
+forward with the engine until the next quiescence (or failure), and
+backtracks on collisions, disconnections and cycles.  The candidate ordering
+is the priority part of the search: moves that approach the centroid of the
+configuration (the paper's compaction strategy, generalized) are tried first.
+
+Chain search over many terminals is embarrassingly parallel and fans out over
+:func:`repro.core.runner.run_chunked_tasks`, like every other batch workload
+in this repository.
+"""
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.guards import connectivity_safe
+from ..core.algorithm import GatheringAlgorithm
+from ..core.configuration import Configuration
+from ..core.engine import (
+    _is_connected_nodes,
+    apply_moves_nodes,
+    detect_collision_nodes,
+    move_intents,
+)
+from ..core.runner import run_chunked_tasks
+from ..core.view import View
+from ..grid.directions import Direction
+from ..grid.packing import pack_nodes, unpack_nodes, view_bitmask
+from .ruleset import OverrideAlgorithm
+
+__all__ = [
+    "Assignment",
+    "candidate_moves",
+    "simulate_to_quiescence",
+    "repair_chain",
+    "propose_chains",
+    "SIMULATE_MAX_ROUNDS",
+]
+
+#: One synthesized decision: ``view bitmask -> direction``.
+Assignment = Dict[int, Direction]
+
+#: Pairs the verifier has refuted; the search must not propose them again.
+BlockedPairs = Set[Tuple[int, str]]
+
+#: Round budget for the targeted forward replay between two quiescent points.
+SIMULATE_MAX_ROUNDS = 300
+
+
+def _centroid_gain(
+    positions: Sequence[Tuple[int, int]], pos: Tuple[int, int], direction: Direction
+) -> int:
+    """Hex-distance change to the configuration centroid if ``pos`` moves.
+
+    Negative values approach the centroid; the candidate ordering prefers
+    them (compaction first).  Count-scaled integer arithmetic keeps the
+    ordering exact and platform-independent.
+    """
+    count = len(positions)
+    sq = sum(p[0] for p in positions)
+    sr = sum(p[1] for p in positions)
+
+    def hex_norm(q: int, r: int) -> int:
+        return max(abs(q), abs(r), abs(q + r))
+
+    tq, tr = pos[0] + direction.value[0], pos[1] + direction.value[1]
+    return hex_norm(count * tq - sq, count * tr - sr) - hex_norm(
+        count * pos[0] - sq, count * pos[1] - sr
+    )
+
+
+def candidate_moves(
+    positions: Sequence[Tuple[int, int]],
+    blocked: Optional[BlockedPairs] = None,
+    visibility_range: int = 2,
+) -> List[Tuple[int, Direction]]:
+    """The finite candidate set that could unstick a quiescent configuration.
+
+    One ``(view bitmask, direction)`` pair per robot and empty adjacent node,
+    filtered by the local safety guards (the move target must be empty and
+    :func:`~repro.algorithms.guards.connectivity_safe` must hold) and by the
+    verifier's ``blocked`` refutations.  Ordered by the centroid-approach
+    priority, ties broken deterministically.
+    """
+    options: List[Tuple[float, int, Direction]] = []
+    for pos in positions:
+        bitmask = view_bitmask(positions, pos, visibility_range)
+        view = View.from_bitmask(bitmask, visibility_range)
+        for direction in Direction:
+            if blocked is not None and (bitmask, direction.name) in blocked:
+                continue
+            if view.occupied(direction.value):
+                continue
+            if not connectivity_safe(view, direction):
+                continue
+            options.append((_centroid_gain(positions, pos, direction), bitmask, direction))
+    options.sort(key=lambda item: (item[0], item[1], item[2].name))
+    return [(bitmask, direction) for _, bitmask, direction in options]
+
+
+def simulate_to_quiescence(
+    packed: int,
+    algorithm: GatheringAlgorithm,
+    max_rounds: int = SIMULATE_MAX_ROUNDS,
+) -> Tuple[str, int]:
+    """FSYNC-run a packed configuration until it settles or fails.
+
+    Returns ``(status, packed')`` where status is ``"gathered"``, ``"stuck"``
+    (quiescent but not gathered), ``"collision"``, ``"disconnected"``,
+    ``"livelock"`` (a configuration repeated) or ``"round-limit"``.  This is
+    the targeted replay the scorer uses instead of a full exhaustive sweep:
+    it touches exactly the states on this counterexample's path.
+    """
+    nodes = frozenset(unpack_nodes(packed))
+    seen = {pack_nodes(nodes)}
+    for _ in range(max_rounds):
+        positions = sorted(nodes)
+        intents = move_intents(positions, algorithm)
+        if not intents:
+            if Configuration(positions).is_gathered():
+                return "gathered", pack_nodes(nodes)
+            return "stuck", pack_nodes(nodes)
+        if detect_collision_nodes(nodes, intents) is not None:
+            return "collision", pack_nodes(nodes)
+        nodes = apply_moves_nodes(nodes, intents)
+        if not _is_connected_nodes(nodes):
+            return "disconnected", pack_nodes(nodes)
+        key = pack_nodes(nodes)
+        if key in seen:
+            return "livelock", key
+        seen.add(key)
+    return "round-limit", pack_nodes(nodes)
+
+
+def repair_chain(
+    packed: int,
+    base: GatheringAlgorithm,
+    assigned: Assignment,
+    blocked: Optional[BlockedPairs] = None,
+    budget: int = 600,
+    max_depth: int = 30,
+    branch: int = 6,
+) -> Tuple[Optional[Assignment], int]:
+    """Search a chain of new assignments that drives ``packed`` to gathered.
+
+    Depth-first search over quiescent configurations: at each stuck point the
+    candidates of :func:`candidate_moves` are tried in priority order (at most
+    ``branch`` per point); each choice is simulated forward with the composed
+    algorithm; collisions, disconnections, cycles and revisits prune the
+    branch.  ``budget`` bounds the number of expanded stuck points.
+
+    Returns ``(chain, expansions)`` — the extra assignments on success (may be
+    empty if the configuration already gathers), ``None`` if the budget,
+    depth or candidate space is exhausted.
+    """
+    failed: Set[int] = set()
+    expansions = 0
+
+    def dfs(
+        current: int, extra: Assignment, depth: int, path: FrozenSet[int]
+    ) -> Optional[Assignment]:
+        nonlocal expansions
+        if expansions >= budget or depth > max_depth:
+            return None
+        algorithm = OverrideAlgorithm(base, {**assigned, **extra})
+        status, settled = simulate_to_quiescence(current, algorithm)
+        if status == "gathered":
+            return extra
+        if status != "stuck" or settled in path or settled in failed:
+            return None
+        expansions += 1
+        positions = unpack_nodes(settled)
+        options = candidate_moves(positions, blocked, base.visibility_range)
+        for bitmask, direction in options[:branch]:
+            if bitmask in assigned or bitmask in extra:
+                continue
+            found = dfs(
+                settled,
+                {**extra, bitmask: direction},
+                depth + 1,
+                path | {settled},
+            )
+            if found is not None:
+                return found
+        failed.add(settled)
+        return None
+
+    return dfs(packed, {}, 0, frozenset()), expansions
+
+
+# ---------------------------------------------------------------------------
+# Parallel chain proposal over many counterexamples.
+# ---------------------------------------------------------------------------
+
+_ChainPayload = Tuple[str, Dict[int, str], List[Tuple[int, str]], List[int], Tuple[int, int, int]]
+
+
+def _chain_chunk(payload: _ChainPayload) -> List[Tuple[Optional[Dict[int, str]], int]]:
+    """Worker entry point: run the chain search for one chunk of terminals."""
+    base_name, assigned_names, blocked_list, terminals, (budget, max_depth, branch) = payload
+    from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+
+    base = create_algorithm(base_name)
+    assigned = {bm: Direction[name] for bm, name in assigned_names.items()}
+    blocked = set(blocked_list)
+    results: List[Tuple[Optional[Dict[int, str]], int]] = []
+    for packed in terminals:
+        chain, expansions = repair_chain(
+            packed, base, assigned, blocked, budget=budget, max_depth=max_depth, branch=branch
+        )
+        encoded = (
+            None if chain is None else {bm: d.name for bm, d in chain.items()}
+        )
+        results.append((encoded, expansions))
+    return results
+
+
+def propose_chains(
+    terminals: Sequence[int],
+    base: GatheringAlgorithm,
+    assigned: Assignment,
+    blocked: Optional[BlockedPairs] = None,
+    base_name: Optional[str] = None,
+    budget: int = 600,
+    max_depth: int = 30,
+    branch: int = 6,
+    workers: int = 1,
+    chunk_size: int = 16,
+) -> Tuple[Assignment, int]:
+    """Aggregate repair chains for many stuck terminals into one proposal.
+
+    Chains are merged first-wins per view bitmask (conflicting follow-up
+    chains are re-derived in the next CEGIS iteration once the first repair
+    is committed or refuted).  Returns ``(pending assignments, expansions)``.
+    With ``workers > 1`` the terminals fan out over a spawn pool, which
+    requires ``base_name`` so workers can rebuild the base algorithm from the
+    registry.
+    """
+    pending: Assignment = {}
+    total_expansions = 0
+    if workers > 1:
+        if base_name is None:
+            raise ValueError("parallel chain search requires base_name (registry lookup)")
+        assigned_names = {bm: d.name for bm, d in assigned.items()}
+        blocked_list = sorted(blocked) if blocked else []
+        params = (budget, max_depth, branch)
+        payloads: List[_ChainPayload] = [
+            (base_name, assigned_names, blocked_list, list(terminals[i : i + chunk_size]), params)
+            for i in range(0, len(terminals), chunk_size)
+        ]
+        for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
+            for encoded, expansions in chunk:
+                total_expansions += expansions
+                if encoded:
+                    for bm, name in encoded.items():
+                        pending.setdefault(bm, Direction[name])
+        return pending, total_expansions
+
+    for packed in terminals:
+        chain, expansions = repair_chain(
+            packed,
+            base,
+            {**assigned, **pending},
+            blocked,
+            budget=budget,
+            max_depth=max_depth,
+            branch=branch,
+        )
+        total_expansions += expansions
+        if chain:
+            for bm, direction in chain.items():
+                pending.setdefault(bm, direction)
+    return pending, total_expansions

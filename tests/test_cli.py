@@ -58,3 +58,124 @@ def test_range1_candidates_only(capsys):
     out = capsys.readouterr().out
     assert "east-pull" in out
     assert "fails on" in out
+
+
+def test_sweep_small_grid(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--algorithms",
+                "stay",
+                "--size",
+                "3",
+                "--max-rounds-grid",
+                "50",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "stay" in out
+
+
+def test_explore_output_file_holds_valid_json(tmp_path, capsys):
+    output = tmp_path / "explore.json"
+    code = main(
+        [
+            "explore",
+            "--algorithm",
+            "shibata-visibility2",
+            "--size",
+            "5",
+            "--no-witnesses",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code in (0, 1)
+    payload = json.loads(output.read_text())
+    assert "root_census" in payload
+    assert sum(payload["root_census"].values()) == 186
+    # stdout keeps the human-readable summary, never the JSON payload.
+    out = capsys.readouterr().out
+    assert "root_census" in out
+    assert not out.lstrip().startswith("{")
+
+
+def test_explore_json_with_output_keeps_stdout_clean(tmp_path, capsys):
+    output = tmp_path / "explore.json"
+    code = main(
+        [
+            "explore",
+            "--algorithm",
+            "shibata-visibility2",
+            "--size",
+            "4",
+            "--no-witnesses",
+            "--json",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code in (0, 1)
+    assert json.loads(output.read_text())
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_codes_documented_in_help(capsys):
+    for command in ("verify", "trace", "explore", "synth", "range1"):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "exit codes:" in capsys.readouterr().out
+
+
+def test_synth_cli_requires_checkpoint_for_resume():
+    with pytest.raises(SystemExit):
+        main(["synth", "--resume"])
+
+
+def test_synth_cli_small_run(tmp_path, capsys):
+    output = tmp_path / "synth.json"
+    ruleset_path = tmp_path / "rules.json"
+    code = main(
+        [
+            "synth",
+            "--base",
+            "shibata-visibility2[minus-R3c]",
+            "--size",
+            "5",
+            "--max-iterations",
+            "2",
+            "--chain-budget",
+            "100",
+            "--max-depth",
+            "12",
+            "--branch",
+            "4",
+            "--quiet",
+            "--output",
+            str(output),
+            "--save-ruleset",
+            str(ruleset_path),
+        ]
+    )
+    assert code in (0, 1, 2)
+    payload = json.loads(output.read_text())
+    assert payload["base"] == "shibata-visibility2[minus-R3c]"
+    assert "progress" in payload
+    assert "ruleset" in payload
+    assert ruleset_path.exists()
+    # stdout shows the progress table, not raw JSON.
+    out = capsys.readouterr().out
+    assert "final_ok" in out
+
+
+def test_synth_algorithm_available_for_other_commands(capsys):
+    # The registered synth algorithm plugs into every driver; a 3-robot
+    # universe cannot gather (the predicate needs seven robots), so the exit
+    # code reports failure while the report itself is complete.
+    assert main(["verify", "--algorithm", "shibata-visibility2-synth", "--size", "3"]) == 1
+    out = capsys.readouterr().out
+    assert "configurations: 11" in out

@@ -1,0 +1,163 @@
+"""Tests for the persistent cross-worker decision cache."""
+import json
+
+import pytest
+
+from repro.algorithms import create_algorithm
+from repro.core.configuration import Configuration
+from repro.core.decision_cache import (
+    cache_file,
+    cache_key,
+    load_shared_cache,
+    persist_shared_cache,
+)
+from repro.core.engine import decision_cache_for, run_execution
+from repro.core.runner import run_many
+from repro.explore import explore
+from repro.grid.directions import Direction
+
+LINE7 = [(i, 0) for i in range(7)]
+
+
+def populated_algorithm():
+    algorithm = create_algorithm("shibata-visibility2")
+    run_execution(Configuration(LINE7), algorithm, record_rounds=False)
+    assert decision_cache_for(algorithm)
+    return algorithm
+
+
+def test_cache_key_is_filename_safe_and_distinct():
+    full = create_algorithm("shibata-visibility2")
+    ablated = create_algorithm("shibata-visibility2[minus-R4]")
+    assert cache_key(full) != cache_key(ablated)
+    for key in (cache_key(full), cache_key(ablated)):
+        assert "/" not in key and "[" not in key
+
+
+def test_persist_and_load_round_trip(tmp_path):
+    algorithm = populated_algorithm()
+    written = persist_shared_cache(algorithm, tmp_path)
+    source = decision_cache_for(algorithm)
+    assert written == len(source)
+    assert cache_file(tmp_path, algorithm).exists()
+
+    fresh = create_algorithm("shibata-visibility2")
+    adopted = load_shared_cache(fresh, tmp_path)
+    assert adopted == written
+    assert decision_cache_for(fresh) == source
+
+
+def test_persist_merges_with_existing_entries(tmp_path):
+    first = populated_algorithm()
+    persist_shared_cache(first, tmp_path)
+    first_entries = dict(decision_cache_for(first))
+
+    second = create_algorithm("shibata-visibility2")
+    run_execution(
+        Configuration([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)]),
+        second,
+        record_rounds=False,
+    )
+    total = persist_shared_cache(second, tmp_path)
+    merged = dict(first_entries)
+    merged.update(decision_cache_for(second))
+    assert total == len(merged)
+
+    fresh = create_algorithm("shibata-visibility2")
+    assert load_shared_cache(fresh, tmp_path) == len(merged)
+    assert decision_cache_for(fresh) == merged
+
+
+def test_load_missing_and_corrupt_files(tmp_path):
+    algorithm = create_algorithm("shibata-visibility2")
+    assert load_shared_cache(algorithm, tmp_path) == 0
+    path = cache_file(tmp_path, algorithm)
+    path.write_text("{not json")
+    assert load_shared_cache(algorithm, tmp_path) == 0
+    path.write_text(json.dumps({"decisions": {"7": "NOT-A-DIRECTION"}}))
+    assert load_shared_cache(algorithm, tmp_path) == 0
+
+
+def test_nondeterministic_algorithms_are_never_cached(tmp_path):
+    from repro.core.algorithm import FunctionAlgorithm
+
+    algorithm = FunctionAlgorithm(lambda view: None, 2, deterministic=False)
+    assert persist_shared_cache(algorithm, tmp_path) == 0
+    assert load_shared_cache(algorithm, tmp_path) == 0
+
+
+def test_run_many_serial_persists_and_adopts(tmp_path):
+    configurations = [Configuration(LINE7)]
+    run_many(
+        configurations,
+        algorithm_name="shibata-visibility2",
+        cache_dir=str(tmp_path),
+    )
+    algorithm = create_algorithm("shibata-visibility2")
+    path = cache_file(tmp_path, algorithm)
+    assert path.exists()
+    stored = json.loads(path.read_text())["decisions"]
+    assert stored
+
+    # A second run adopts the stored table: the CachedAlgorithm wrapper would
+    # report hits; here we assert the fresh instance starts pre-populated.
+    adopted = load_shared_cache(algorithm, tmp_path)
+    assert adopted == len(stored)
+    for bitmask, name in stored.items():
+        move = decision_cache_for(algorithm)[int(bitmask)]
+        assert (move.name if move is not None else None) == name
+
+
+def test_explore_cache_dir_round_trips(tmp_path):
+    report = explore(
+        algorithm_name="shibata-visibility2",
+        roots=[tuple(LINE7)],
+        with_witnesses=False,
+        cache_dir=str(tmp_path),
+    )
+    assert report.root_census
+    algorithm = create_algorithm("shibata-visibility2")
+    assert load_shared_cache(algorithm, tmp_path) > 0
+
+
+@pytest.mark.slow
+def test_run_many_parallel_workers_share_the_cache(tmp_path):
+    from repro.enumeration.polyhex import enumerate_connected_configurations
+
+    configurations = enumerate_connected_configurations(5)
+    batch = run_many(
+        configurations,
+        algorithm_name="shibata-visibility2",
+        workers=2,
+        chunk_size=40,
+        cache_dir=str(tmp_path),
+    )
+    assert batch.total == len(configurations)
+    algorithm = create_algorithm("shibata-visibility2")
+    assert cache_file(tmp_path, algorithm).exists()
+    adopted = load_shared_cache(algorithm, tmp_path)
+    assert adopted > 0
+    # The shared table must agree with a freshly computed serial run.
+    serial = create_algorithm("shibata-visibility2")
+    run_many(configurations[:50], algorithm=serial)
+    serial_cache = decision_cache_for(serial)
+    shared_cache = decision_cache_for(algorithm)
+    for bitmask, move in serial_cache.items():
+        if bitmask in shared_cache:
+            assert shared_cache[bitmask] == move
+
+
+def test_cache_key_distinguishes_rule_set_content():
+    # Same registry name, different data-driven behaviour: the fingerprint
+    # must keep their persistent caches apart.
+    from repro.synth import OverrideAlgorithm
+
+    base = create_algorithm("shibata-visibility2")
+    east = OverrideAlgorithm(base, {3: Direction.E}, name="same-name")
+    west = OverrideAlgorithm(base, {3: Direction.W}, name="same-name")
+    assert cache_key(east) != cache_key(west)
+
+
+def test_registered_synth_algorithm_carries_a_fingerprint():
+    algorithm = create_algorithm("shibata-visibility2-synth")
+    assert getattr(algorithm, "cache_fingerprint", "")
