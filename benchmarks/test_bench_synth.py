@@ -99,9 +99,11 @@ def test_synth_deleted_guard_recovery(benchmark, affected_roots, print_table):
     )
 
 
-@pytest.mark.benchmark(group="E11-synth")
-def test_learned_ruleset_census_at_benchmark_scale(benchmark, print_table):
-    algorithm = create_algorithm("shibata-visibility2-synth")
+def _census_benchmark(name, prefix, print_table):
+    """Explore ``name`` exhaustively in both modes, assert its pins, record."""
+    from repro.analysis.census_pins import pinned_census
+
+    algorithm = create_algorithm(name)
     start = time.perf_counter()
     fsync = explore(algorithm=algorithm, mode="fsync", with_witnesses=False)
     fsync_seconds = time.perf_counter() - start
@@ -109,23 +111,23 @@ def test_learned_ruleset_census_at_benchmark_scale(benchmark, print_table):
     ssync = explore(algorithm=algorithm, mode="ssync", with_witnesses=False)
     ssync_seconds = time.perf_counter() - start
 
-    # The ROADMAP census, pinned: the repair holds at benchmark scale.
-    assert fsync.root_census == {"gathered": 1, "safe": 3333, "disconnected": 318}
+    # The pinned censuses (repro.analysis.census_pins): the repair holds at
+    # benchmark scale, collision- and livelock-free under every schedule.
+    assert fsync.root_census == pinned_census(name, "fsync")
+    assert ssync.root_census == pinned_census(name, "ssync")
     assert ssync.root_census.get("collision", 0) == 0
     assert ssync.root_census.get("livelock", 0) == 0
 
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-
     _SYNTH_TIMINGS.update(
         {
-            "learned_fsync_census": dict(fsync.root_census),
-            "learned_fsync_seconds": round(fsync_seconds, 4),
-            "learned_ssync_census": dict(ssync.root_census),
-            "learned_ssync_seconds": round(ssync_seconds, 4),
+            f"{prefix}_fsync_census": dict(fsync.root_census),
+            f"{prefix}_fsync_seconds": round(fsync_seconds, 4),
+            f"{prefix}_ssync_census": dict(ssync.root_census),
+            f"{prefix}_ssync_seconds": round(ssync_seconds, 4),
         }
     )
     print_table(
-        "E11: committed shibata-visibility2-synth census",
+        f"E11: committed {name} census",
         [
             {
                 "fsync ok": fsync.root_census.get("gathered", 0)
@@ -137,6 +139,42 @@ def test_learned_ruleset_census_at_benchmark_scale(benchmark, print_table):
             }
         ],
     )
+    return fsync, ssync
+
+
+@pytest.mark.benchmark(group="E11-synth")
+def test_learned_ruleset_census_at_benchmark_scale(benchmark, print_table):
+    _census_benchmark("shibata-visibility2-synth", "learned", print_table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E11-synth")
+def test_amend_ruleset_census_at_benchmark_scale(benchmark, print_table):
+    """The move-amending repair (synth2): pinned census plus the won-root
+    regression guarantee against the additive repair, then persist the
+    session's BENCH_synth.json."""
+    synth_fsync = explore(
+        algorithm=create_algorithm("shibata-visibility2-synth"),
+        mode="fsync",
+        with_witnesses=False,
+    )
+    fsync, _ = _census_benchmark("shibata-visibility2-synth2", "amend", print_table)
+
+    # The won-root regression gate, re-checked on the committed artefacts:
+    # synth2 wins a strict superset of the roots synth wins.
+    won_synth = {
+        packed
+        for packed in synth_fsync.graph.roots
+        if synth_fsync.classification.node_class[packed] in ("gathered", "safe")
+    }
+    won_amend = {
+        packed
+        for packed in fsync.graph.roots
+        if fsync.classification.node_class[packed] in ("gathered", "safe")
+    }
+    assert won_synth < won_amend
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     payload = {
         "python": platform.python_version(),

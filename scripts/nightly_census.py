@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Nightly exhaustive-census check: re-derive every pinned census from scratch.
+
+Runs the transition-graph explorer exhaustively (FSYNC and adversarial SSYNC)
+for every committed rule set in :data:`repro.analysis.census_pins.PINNED_CENSUS`
+and diffs the fresh numbers against the pins.  Any difference — better or
+worse — fails the job: the pins are exact claims, and an unexplained
+improvement is as suspicious as a regression (it usually means the committed
+rule-set artefact and the pins went out of sync).
+
+Intended for the scheduled/workflow_dispatch CI job; also runnable locally::
+
+    python scripts/nightly_census.py [--output census_report.json]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.census_pins import PINNED_CENSUS  # noqa: E402
+from repro.explore import explore  # noqa: E402
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Re-derive and diff every pinned exhaustive census."
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON report to FILE",
+    )
+    parser.add_argument(
+        "--size", type=int, default=7, help="number of robots (default 7)"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    report: Dict[str, Any] = {"checks": [], "failures": []}
+    failures: List[str] = []
+    for (algorithm, mode), pinned in sorted(PINNED_CENSUS.items()):
+        start = time.perf_counter()
+        result = explore(
+            algorithm_name=algorithm,
+            mode=mode,
+            size=args.size,
+            with_witnesses=False,
+        )
+        fresh = dict(result.root_census)
+        seconds = round(time.perf_counter() - start, 3)
+        matches = fresh == pinned
+        line = f"{algorithm} [{mode}]: {'ok' if matches else 'MISMATCH'} ({seconds}s)"
+        print(line)
+        if not matches:
+            print(f"  pinned: {pinned}")
+            print(f"  fresh:  {fresh}")
+            failures.append(f"{algorithm} [{mode}]: pinned {pinned} != fresh {fresh}")
+        report["checks"].append(
+            {
+                "algorithm": algorithm,
+                "mode": mode,
+                "pinned": dict(pinned),
+                "fresh": fresh,
+                "matches": matches,
+                "seconds": seconds,
+            }
+        )
+
+    report["failures"] = failures
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if failures:
+        print(f"\nnightly-census: {len(failures)} mismatch(es)")
+        return 1
+    print(f"\nnightly-census: all {len(report['checks'])} pinned censuses reproduced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,18 @@ def _learned_synth_algorithm() -> GatheringAlgorithm:
     return learned_algorithm()
 
 
+def _learned_amend_algorithm() -> GatheringAlgorithm:
+    """Factory for the move-amending repair of the paper's algorithm.
+
+    ``shibata-visibility2`` composed with the committed amending rule set
+    (additive + override rules) found by the move-amending CEGIS run; its
+    census is pinned in :mod:`repro.analysis.census_pins`.
+    """
+    from ..synth.ruleset import learned_amend_algorithm  # late: avoids an import cycle
+
+    return learned_amend_algorithm()
+
+
 # ---------------------------------------------------------------------------
 # Built-in registrations.
 # ---------------------------------------------------------------------------
@@ -75,6 +87,7 @@ register_algorithm(
     lambda: ShibataGatheringAlgorithm(include_reconstructed=False),
 )
 register_algorithm("shibata-visibility2-synth", _learned_synth_algorithm)
+register_algorithm("shibata-visibility2-synth2", _learned_amend_algorithm)
 # Single-rule ablations: the deleted-guard bases the synthesis subsystem
 # repairs in the recovery example (and handy sweep axes on their own).
 for _rule_id in ALL_RULE_IDS:

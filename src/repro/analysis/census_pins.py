@@ -1,0 +1,100 @@
+"""Pinned exhaustive-census numbers: the repository's correctness claims.
+
+Every number here was produced by an exhaustive run of the transition-graph
+explorer (:mod:`repro.explore`) over all 3652 connected seven-robot roots and
+is treated as a **pinned claim**: the tier-1 tests assert them exactly, the
+nightly census workflow re-derives them from scratch and diffs, and the CI
+benchmark-regression gate (``scripts/bench_compare.py``) refuses any change
+that silently alters them.  Updating a pin is a deliberate act that belongs
+in the same commit as the rule-set change that justifies it.
+
+The census dicts map explorer classes (``gathered``/``safe``/``deadlock``/
+``livelock``/``collision``/``disconnected``) to root counts; absent classes
+are zero.
+"""
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+__all__ = [
+    "THEOREM2_ROOTS",
+    "PINNED_CENSUS",
+    "pinned_census",
+    "census_ok",
+    "census_regressions",
+]
+
+#: The number of connected seven-robot initial configurations (Theorem 2).
+THEOREM2_ROOTS = 3652
+
+#: ``(algorithm, mode) -> exhaustive root census`` for every committed rule
+#: set.  ``mode`` is ``"fsync"`` or ``"ssync"`` (adversarial activation).
+PINNED_CENSUS: Dict[Tuple[str, str], Dict[str, int]] = {
+    # The transcription of the paper's printed pseudocode (PR 2 baseline).
+    ("shibata-visibility2", "fsync"): {
+        "gathered": 1,
+        "safe": 1894,
+        "deadlock": 1365,
+        "disconnected": 392,
+    },
+    ("shibata-visibility2", "ssync"): {
+        "gathered": 1,
+        "safe": 1519,
+        "deadlock": 1671,
+        "disconnected": 461,
+    },
+    # The additive CEGIS repair (PR 3).
+    ("shibata-visibility2-synth", "fsync"): {
+        "gathered": 1,
+        "safe": 3333,
+        "disconnected": 318,
+    },
+    ("shibata-visibility2-synth", "ssync"): {
+        "gathered": 1,
+        "safe": 2938,
+        "disconnected": 713,
+    },
+    # The move-amending CEGIS repair: Theorem 2 exactly — every root gathers,
+    # under FSYNC *and* under every adversarial activation schedule.
+    ("shibata-visibility2-synth2", "fsync"): {
+        "gathered": 1,
+        "safe": 3651,
+    },
+    ("shibata-visibility2-synth2", "ssync"): {
+        "gathered": 1,
+        "safe": 3651,
+    },
+}
+
+
+def pinned_census(algorithm: str, mode: str) -> Dict[str, int]:
+    """The pinned census of a committed rule set (KeyError if not pinned)."""
+    return dict(PINNED_CENSUS[(algorithm, mode)])
+
+
+def census_ok(census: Mapping[str, int]) -> int:
+    """Roots the census counts as won (gathered + provably safe)."""
+    return census.get("gathered", 0) + census.get("safe", 0)
+
+
+def census_regressions(
+    baseline: Mapping[str, int], candidate: Mapping[str, int]
+) -> Tuple[str, ...]:
+    """Human-readable regressions of ``candidate`` against ``baseline``.
+
+    A regression is a drop in won roots or any growth of a failure class
+    (collision/livelock/deadlock/disconnected/unknown).  Improvements are
+    not regressions: the gate is one-sided so a better census passes and the
+    pin is then updated deliberately.
+    """
+    problems = []
+    if census_ok(candidate) < census_ok(baseline):
+        problems.append(
+            f"won roots regressed: {census_ok(baseline)} -> {census_ok(candidate)}"
+        )
+    for cls in ("collision", "livelock", "deadlock", "disconnected", "unknown"):
+        before = baseline.get(cls, 0)
+        after = candidate.get(cls, 0)
+        if after > before:
+            problems.append(f"{cls} grew: {before} -> {after}")
+    return tuple(problems)

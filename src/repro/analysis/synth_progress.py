@@ -39,6 +39,7 @@ def synth_progress(
         final_census = dict(result.get("census", result.get("final_census", {})))
         ssync_census = result.get("ssync_census")
         rules = result.get("rules", len(result.get("assigned", ())))
+        override_rules = result.get("override_rules", len(result.get("amended", ())))
         validated = result.get("validated")
     else:
         base_name = result.base_name
@@ -46,6 +47,7 @@ def synth_progress(
         final_census = dict(result.final_census)
         ssync_census = result.ssync_census
         rules = len(result.ruleset)
+        override_rules = result.override_rules
         validated = result.validated
 
     total = sum(final_census.values()) or sum(base_census.values())
@@ -68,6 +70,7 @@ def synth_progress(
         "remaining_gap": target - final_ok,
         "coverage": round(final_ok / target, 6) if target else 0.0,
         "rules": rules,
+        "override_rules": override_rules,
         "remaining_by_class": remaining,
         "ssync_census": None if ssync_census is None else dict(ssync_census),
         "ssync_safe": (

@@ -27,7 +27,10 @@ Subcommands
     Counterexample-guided rule synthesis: repair a base algorithm's missing
     guard behaviours with the CEGIS engine of :mod:`repro.synth`, validate
     the result under FSYNC and adversarial SSYNC exploration, and optionally
-    save the synthesized rule set.
+    save the synthesized rule set.  ``--allow-amend`` opens the amending
+    repair space (override rules that may replace printed moves, guarded by
+    the won-root regression gate); ``--seed-ruleset`` starts from an
+    existing rule set instead of from scratch.
 
 Every subcommand documents its exit codes in ``--help``; JSON-producing
 subcommands accept ``--output FILE`` so machine-readable reports never
@@ -236,6 +239,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument(
         "--branch", type=int, default=6, help="candidates tried per stuck point"
     )
+    p_synth.add_argument(
+        "--allow-amend",
+        action="store_true",
+        help="open the amending repair space: learned override rules may "
+        "replace printed moves (or force stays) at mid-move failure views, "
+        "guarded by the won-root regression gate",
+    )
+    p_synth.add_argument(
+        "--amend-branch",
+        type=int,
+        default=10,
+        help="amendment candidates tried per pre-failure point (default 10)",
+    )
+    p_synth.add_argument(
+        "--amend-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of committed override rules (default: unlimited)",
+    )
+    p_synth.add_argument(
+        "--seed-ruleset",
+        default=None,
+        metavar="FILE",
+        help="seed the search from an exact-view rule set JSON "
+        "(e.g. the committed additive repair), or the literal name "
+        "'learned' for the committed shibata-visibility2 repair",
+    )
     p_synth.add_argument("--workers", type=int, default=1)
     p_synth.add_argument(
         "--no-ssync-validate",
@@ -434,10 +465,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    from .synth import save_ruleset, synthesize
+    from .io.serialization import CheckpointSchemaError
+    from .synth import learned_ruleset, load_ruleset, save_ruleset, synthesize
 
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint")
+    if args.resume and args.seed_ruleset:
+        raise SystemExit(
+            "--seed-ruleset and --resume are mutually exclusive: the checkpoint "
+            "replaces the whole search state, so the seed would be discarded"
+        )
+    seed = None
+    if args.seed_ruleset == "learned":
+        seed = learned_ruleset()
+    elif args.seed_ruleset is not None:
+        try:
+            seed = load_ruleset(args.seed_ruleset)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load --seed-ruleset {args.seed_ruleset!r}: {exc}")
     progress = None
     if not args.quiet:
         # Progress goes to stderr so --json stdout stays a single JSON payload.
@@ -456,8 +501,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             resume=args.resume,
             cache_dir=args.decision_cache,
             progress=progress,
+            allow_amend=args.allow_amend,
+            amend_branch=args.amend_branch,
+            amend_budget=args.amend_budget,
+            seed_ruleset=seed,
         )
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, CheckpointSchemaError) as exc:
         raise SystemExit(str(exc))
     payload = synthesis_to_dict(result)
     payload["progress"] = synth_progress(result)

@@ -26,6 +26,8 @@ from ..analysis.verification import ConfigurationResult, VerificationReport
 from ..grid.packing import pack_nodes, unpack_nodes
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointSchemaError",
     "configuration_to_dict",
     "configuration_from_dict",
     "configuration_to_packed",
@@ -226,6 +228,18 @@ def synthesis_to_dict(result, include_ruleset: bool = True) -> Dict[str, Any]:
     return payload
 
 
+#: Schema version of the CEGIS checkpoint format.  Version 2 added the
+#: ``amended`` layer of the move-amending repair space (override decisions,
+#: including forced stays encoded as ``null``); version-1 checkpoints from
+#: the additive-only DSL cannot represent it and are rejected with a
+#: :class:`CheckpointSchemaError` instead of a silent ``KeyError``.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+
+class CheckpointSchemaError(ValueError):
+    """A synthesis checkpoint was written under an incompatible schema."""
+
+
 def save_synthesis_checkpoint(
     path,
     base: str,
@@ -236,19 +250,25 @@ def save_synthesis_checkpoint(
     explores: int,
     base_census: Dict[str, int],
     census: Dict[str, int],
+    amended: Optional[Dict[int, Any]] = None,
 ) -> None:
     """Persist the full CEGIS search state as JSON (atomically).
 
     The checkpoint carries everything :func:`repro.synth.synthesize` needs to
-    resume: the committed assignments, the refuted (blocked) pairs and the
-    iteration history, plus the censuses for progress reporting.
+    resume: the committed assignments (additive and amending layers), the
+    refuted (blocked) pairs and the iteration history, plus the censuses for
+    progress reporting.
     """
     import os
 
     payload = {
-        "version": 1,
+        "version": CHECKPOINT_SCHEMA_VERSION,
         "base": base,
         "assigned": {str(bitmask): direction.name for bitmask, direction in assigned.items()},
+        "amended": {
+            str(bitmask): None if direction is None else direction.name
+            for bitmask, direction in (amended or {}).items()
+        },
         "blocked": sorted([bitmask, name] for bitmask, name in blocked),
         "iterations": [_iteration_record_to_dict(record) for record in iterations],
         "candidates_evaluated": candidates_evaluated,
@@ -265,19 +285,38 @@ def save_synthesis_checkpoint(
 
 
 def load_synthesis_checkpoint(path) -> Dict[str, Any]:
-    """Invert :func:`save_synthesis_checkpoint` into live search state."""
+    """Invert :func:`save_synthesis_checkpoint` into live search state.
+
+    Raises
+    ------
+    CheckpointSchemaError
+        If the file carries no ``version`` field or one other than
+        :data:`CHECKPOINT_SCHEMA_VERSION` — e.g. a checkpoint written by the
+        additive-only DSL of an older release, whose assignments cannot
+        faithfully seed the amending search.
+    """
     from ..grid.directions import Direction
     from ..synth.cegis import IterationRecord  # late: avoids an import cycle
 
     with open(str(path)) as handle:
         payload = json.load(handle)
-    if payload.get("version") != 1:
-        raise ValueError(f"unsupported checkpoint version: {payload.get('version')!r}")
+    found = payload.get("version")
+    if found != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointSchemaError(
+            f"checkpoint {str(path)!r} has schema version {found!r}, but this "
+            f"release reads version {CHECKPOINT_SCHEMA_VERSION} (the amending "
+            "DSL added an 'amended' layer).  Re-run the synthesis without "
+            "--resume to write a fresh checkpoint."
+        )
     return {
         "base": payload["base"],
         "assigned": {
             int(bitmask): Direction[name]
             for bitmask, name in payload["assigned"].items()
+        },
+        "amended": {
+            int(bitmask): None if name is None else Direction[name]
+            for bitmask, name in payload["amended"].items()
         },
         "blocked": {(int(bitmask), str(name)) for bitmask, name in payload["blocked"]},
         "iterations": [

@@ -6,15 +6,27 @@ the Theorem 2 correctness gap:
 1. **Verify** — exhaustively model-check the current composed rule set with
    the transition-graph explorer (:mod:`repro.explore`).  The analyzer
    verdicts are the fitness signal: the number of roots classified gathered
-   or safe, and the terminal deadlock vertices are the counterexamples.
+   or safe, and the counterexamples are the terminal deadlock vertices plus —
+   in amending mode — the pre-failure vertices whose printed moves walk into
+   a collision or disconnection sink.
 2. **Synthesize** — run the chain-repair search (:mod:`repro.synth.search`)
    from every counterexample, scoring candidates with fast targeted replay of
-   the counterexample's own path before paying for any full sweep.
-3. **Refine** — trial-commit the proposed assignments against a fresh
-   exhaustive exploration.  A batch that introduces a collision or livelock
-   class, or fails to improve coverage, is bisected down to the offending
-   assignments, which are *blocked*; the next iteration's search routes
-   around them.
+   the counterexample's own path before paying for any full sweep.  With
+   ``allow_amend=True`` the search may propose **amendments**: override
+   decisions that replace a printed move (or force a stay) at an exact view.
+3. **Refine** — trial-commit each chain *atomically* (its decisions were
+   validated together by the targeted replay; splitting a chain refutes
+   decisions that are only wrong in isolation) against a fresh exhaustive
+   exploration, guarded by the **won-root regression gate**: a chain is only
+   committed when no collision/livelock class appears, the deadlock class
+   does not grow, coverage strictly grows, *and* every root previously
+   classified gathered or safe is still won — re-checked under adversarial
+   SSYNC edges too, so a committed rule can never trade an already-won root
+   for a new one under any activation schedule.  A rejected single-decision
+   chain is *blocked* (a true refutation of that decision); a rejected
+   multi-decision chain is recorded as a refuted chain signature, which the
+   next proposal round feeds back into the DFS so it derives a different
+   chain instead of re-proposing the same one.
 
 After the FSYNC loop reaches a fixpoint the surviving rule set is re-verified
 under adversarial SSYNC edges.  Any rule that fires in an SSYNC collision or
@@ -22,27 +34,43 @@ livelock witness is blamed, removed and blocked, and the FSYNC loop resumes —
 so a returned result with ``validated=True`` is exhaustively collision- and
 livelock-free under *every* activation schedule, not just FSYNC.
 
-Long searches checkpoint their full state (assignments, blocked pairs,
-iteration history) as JSON after every iteration and can resume from it.
+Long searches checkpoint their full state (assignments, amendments, blocked
+pairs, iteration history) as JSON after every iteration and can resume from
+it; the checkpoint schema is versioned (see
+:mod:`repro.io.serialization`), and checkpoints written by a pre-amending
+DSL fail to load with a clear schema error instead of a ``KeyError``.
 """
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.algorithm import GatheringAlgorithm
 from ..core.runner import ConfigurationLike
+from ..core.view import View
 from ..explore.report import ExplorationReport, explore
 from ..explore.transitions import TERMINAL_DEADLOCK, TransitionGraph
 from ..grid.directions import Direction
 from ..grid.packing import view_bitmask
 from .dsl import RuleSet
-from .ruleset import OverrideAlgorithm, overrides_to_ruleset, ruleset_algorithm
-from .search import Assignment, propose_chains
+from .ruleset import OverrideAlgorithm, overrides_to_ruleset, ruleset_algorithm, ruleset_layers
+from .search import (
+    Amendment,
+    Assignment,
+    blocked_name,
+    chain_signature,
+    propose_chain_list,
+)
 
-__all__ = ["IterationRecord", "SynthesisResult", "result_algorithm", "synthesize"]
+__all__ = [
+    "IterationRecord",
+    "SynthesisResult",
+    "result_algorithm",
+    "split_decisions",
+    "synthesize",
+]
 
 Progress = Callable[[str], None]
 
@@ -53,11 +81,12 @@ class IterationRecord:
 
     #: Iteration index (0-based).
     index: int
-    #: Number of terminal deadlock counterexamples at the start.
+    #: Number of counterexamples at the start (deadlock terminals, plus
+    #: pre-failure vertices in amending mode).
     counterexamples: int
-    #: Assignments the chain search proposed.
+    #: Decisions the chain search proposed.
     proposed: int
-    #: Assignments that survived trial-commit.
+    #: Decisions that survived trial-commit.
     committed: int
     #: Stuck points the chain search expanded (candidates evaluated).
     expansions: int
@@ -86,7 +115,7 @@ class SynthesisResult:
     ssync_census: Optional[Dict[str, int]] = None
     #: Per-iteration history.
     iterations: List[IterationRecord] = field(default_factory=list)
-    #: Refuted ``(bitmask, direction name)`` pairs.
+    #: Refuted ``(bitmask, direction name)`` pairs (``"STAY"`` for forced stays).
     blocked: Set[Tuple[int, str]] = field(default_factory=set)
     #: Total stuck points expanded by the chain search.
     candidates_evaluated: int = 0
@@ -117,6 +146,16 @@ class SynthesisResult:
         """Whether the repair strictly increased coverage."""
         return self.final_ok > self.base_ok
 
+    @property
+    def extend_rules(self) -> int:
+        """Number of additive (extension-mode) rules in the result."""
+        return len(self.ruleset.extend_rules)
+
+    @property
+    def override_rules(self) -> int:
+        """Number of amending (override-mode) rules in the result."""
+        return len(self.ruleset.override_rules)
+
     def candidates_per_second(self) -> float:
         """Chain-search stuck points expanded per wall-clock second."""
         return (
@@ -130,6 +169,8 @@ class SynthesisResult:
         return {
             "base": self.base_name,
             "rules": len(self.ruleset),
+            "extend_rules": self.extend_rules,
+            "override_rules": self.override_rules,
             "base_census": dict(self.base_census),
             "final_census": dict(self.final_census),
             "ssync_census": None if self.ssync_census is None else dict(self.ssync_census),
@@ -158,12 +199,64 @@ def _bad(census: Dict[str, int]) -> int:
     return census.get("collision", 0) + census.get("livelock", 0)
 
 
-def _terminals_by_mass(graph: TransitionGraph) -> List[int]:
-    """Terminal deadlock vertices, heaviest first.
+def _won_roots(report: ExplorationReport) -> FrozenSet[int]:
+    """The roots the explored composition wins (classified gathered or safe)."""
+    node_class = report.classification.node_class
+    return frozenset(
+        packed
+        for packed in report.graph.roots
+        if node_class[packed] in ("gathered", "safe")
+    )
 
-    Mass is the number of roots whose (functional FSYNC) path settles in the
-    terminal — repairing a heavy terminal rescues many roots at once, which
-    is the priority part of the outer search.
+
+def split_decisions(
+    pending: Amendment,
+    base: GatheringAlgorithm,
+    assigned: Optional[Assignment] = None,
+) -> Tuple[Assignment, Amendment]:
+    """Split proposed decisions into ``(additive, amendments)`` layers.
+
+    A decision is an amendment when it forces a stay, when the base
+    algorithm prescribes a move at that exact view (so the decision would
+    replace a printed move), or when the view already carries a committed
+    additive rule in ``assigned`` (the amendment layer shadows it); otherwise
+    the base stays there and the decision composes additively, preserving
+    every base-won execution by construction.
+    """
+    from ..core.engine import decision_cache_for  # late: avoids an import cycle
+
+    cache = decision_cache_for(base)
+    additive: Assignment = {}
+    amendments: Amendment = {}
+    for bitmask, direction in pending.items():
+        if direction is None or (assigned is not None and bitmask in assigned):
+            amendments[bitmask] = direction
+            continue
+        if cache is not None and bitmask in cache:
+            base_move = cache[bitmask]
+        else:
+            base_move = base.compute(View.from_bitmask(bitmask, base.visibility_range))
+            if cache is not None:
+                cache[bitmask] = base_move
+        if base_move is None:
+            additive[bitmask] = direction
+        else:
+            amendments[bitmask] = direction
+    return additive, amendments
+
+
+def _counterexamples_by_mass(
+    graph: TransitionGraph, include_failures: bool = False
+) -> List[int]:
+    """Counterexample vertices, heaviest first.
+
+    A counterexample is a terminal deadlock vertex or — with
+    ``include_failures`` (amending mode) — the vertex whose functional FSYNC
+    edge enters a collision/disconnect sink or closes a cycle: the
+    configuration in which the fatal moves are computed, which is exactly
+    where an amendment can intervene.  Mass is the number of roots whose
+    FSYNC path settles in the counterexample — repairing a heavy one rescues
+    many roots at once, which is the priority part of the outer search.
     """
     settles_in: Dict[int, Optional[int]] = {}
 
@@ -181,12 +274,17 @@ def _terminals_by_mass(graph: TransitionGraph) -> List[int]:
             path.append(current)
             edges = graph.successors(current)
             successors = [dst for _, dst in edges if dst >= 0]
-            if not successors or current in successors:
-                result = None  # sink edge or self-loop: not a deadlock path
+            if not successors:
+                # Sink edge (collision/disconnect): the fatal move is computed
+                # here, so this vertex is the amending counterexample.
+                result = current if include_failures else None
+                break
+            if current in successors:
+                result = current if include_failures else None  # self-loop
                 break
             current = successors[0]
             if current in path:
-                result = None  # cycle (livelock); no deadlock terminal
+                result = current if include_failures else None  # cycle (livelock)
                 break
         for vertex_on_path in path:
             settles_in[vertex_on_path] = result
@@ -194,9 +292,9 @@ def _terminals_by_mass(graph: TransitionGraph) -> List[int]:
 
     mass: Dict[int, int] = {}
     for root in graph.roots:
-        terminal = settle(root)
-        if terminal is not None:
-            mass[terminal] = mass.get(terminal, 0) + 1
+        counterexample = settle(root)
+        if counterexample is not None:
+            mass[counterexample] = mass.get(counterexample, 0) + 1
     for packed, kind in graph.terminal.items():
         if kind == TERMINAL_DEADLOCK:
             mass.setdefault(packed, 0)
@@ -204,22 +302,30 @@ def _terminals_by_mass(graph: TransitionGraph) -> List[int]:
 
 
 def _fired_assignments(
-    witness, base: GatheringAlgorithm, assigned: Assignment
+    witness,
+    base: GatheringAlgorithm,
+    assigned: Assignment,
+    amended: Optional[Amendment] = None,
 ) -> Set[int]:
-    """The override bitmasks that actually fire along a witness trace.
+    """The learned bitmasks that plausibly fire along a witness trace.
 
-    A rule fires when a mover's view bitmask is assigned and the base
-    algorithm would have stayed — the blame set for SSYNC refinement.
+    An additive rule fires when a mover's view bitmask is assigned and the
+    base algorithm would have stayed; an amendment is blamed whenever its
+    view occurs at all (a forced stay fires precisely by *not* moving, which
+    a mover test cannot see) — conservative blame only costs coverage, which
+    the resumed FSYNC loop then re-earns.
     """
-    from ..core.view import View
-
+    amended = amended or {}
     fired: Set[int] = set()
     for step in witness.steps:
         movers = {tuple(pos) for pos, _ in step.moves}
         for pos in step.configuration:
+            bitmask = view_bitmask(step.configuration, pos, base.visibility_range)
+            if bitmask in amended:
+                fired.add(bitmask)
+                continue
             if tuple(pos) not in movers:
                 continue
-            bitmask = view_bitmask(step.configuration, pos, base.visibility_range)
             if bitmask in assigned and base.compute(
                 View.from_bitmask(bitmask, base.visibility_range)
             ) is None:
@@ -247,6 +353,10 @@ def synthesize(
     ruleset_name: Optional[str] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[Progress] = None,
+    allow_amend: bool = False,
+    amend_branch: int = 10,
+    amend_budget: Optional[int] = None,
+    seed_ruleset: Optional[RuleSet] = None,
 ) -> SynthesisResult:
     """Run the CEGIS loop and return the best-found repair.
 
@@ -260,9 +370,27 @@ def synthesize(
     shares the base algorithm's memoized Look–Compute table on disk
     (:mod:`repro.core.decision_cache`) across the run's exhaustive
     explorations, worker processes and repeated invocations.
+
+    ``allow_amend=True`` opens the amending repair space: the chain search
+    may replace printed moves (see :mod:`repro.synth.search`) and every
+    counterexample selection includes pre-failure vertices.  With
+    ``ssync_validate=True`` (the default) the won-root regression gate
+    replays previously-won roots under FSYNC *and* adversarial SSYNC for
+    **every** trial chain — additive rules can open adversarial livelocks
+    too, and gating each commit keeps the final SSYNC validation a formality
+    instead of a demolition (it costs one extra exhaustive exploration per
+    chain that passes the FSYNC gate).  ``amend_budget`` caps the number of
+    committed override rules; ``seed_ruleset`` starts the search from an
+    existing exact-view rule set (e.g. the committed additive repair)
+    instead of from scratch (mutually exclusive with ``resume``).
     """
     if (base is None) == (base_name is None):
         raise ValueError("provide exactly one of base / base_name")
+    if seed_ruleset is not None and resume:
+        raise ValueError(
+            "seed_ruleset and resume are mutually exclusive: a checkpoint "
+            "replaces the whole search state, so the seed would be discarded"
+        )
     if base is None:
         from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
 
@@ -277,11 +405,21 @@ def synthesize(
     start = time.perf_counter()
 
     assigned: Assignment = {}
+    amended: Amendment = {}
     blocked: Set[Tuple[int, str]] = set()
     iterations: List[IterationRecord] = []
     candidates_evaluated = 0
     explores = 0
     resumed_base_census: Optional[Dict[str, int]] = None
+
+    if seed_ruleset is not None:
+        seed_add, seed_amend = ruleset_layers(seed_ruleset)
+        assigned.update(seed_add)
+        amended.update(seed_amend)
+        say(
+            f"seeded {len(seed_add)} additive + {len(seed_amend)} override "
+            f"rules from {seed_ruleset.name!r}"
+        )
 
     if resume:
         if checkpoint_path is None or not Path(checkpoint_path).exists():
@@ -297,12 +435,16 @@ def synthesize(
                 f"not {resolved_base_name!r}"
             )
         assigned = state["assigned"]
+        amended = state["amended"]
         blocked = state["blocked"]
         iterations = state["iterations"]
         candidates_evaluated = state["candidates_evaluated"]
         explores = state["explores"]
         resumed_base_census = dict(state["base_census"])
-        say(f"resumed checkpoint: {len(assigned)} rules, {len(blocked)} blocked")
+        say(
+            f"resumed checkpoint: {len(assigned)} rules, "
+            f"{len(amended)} amendments, {len(blocked)} blocked"
+        )
 
     def checkpoint(census: Dict[str, int], base_census: Dict[str, int]) -> None:
         if checkpoint_path is None:
@@ -319,13 +461,14 @@ def synthesize(
             explores=explores,
             base_census=base_census,
             census=census,
+            amended=amended,
         )
 
     def explore_current(mode: str, with_witnesses: bool = False) -> ExplorationReport:
         nonlocal explores
         explores += 1
         return explore(
-            algorithm=OverrideAlgorithm(base, assigned),
+            algorithm=OverrideAlgorithm(base, assigned, amendments=amended),
             roots=roots,
             size=size,
             mode=mode,
@@ -342,20 +485,108 @@ def synthesize(
         )
         explores += 1
         base_census = dict(base_report.root_census)
-        report = base_report if not assigned else explore_current("fsync")
+        report = base_report if not (assigned or amended) else explore_current("fsync")
     say(f"base census: {base_census}")
     best = _ok(report.root_census)
+    won_fsync = _won_roots(report)
+
+    # The adversarial-SSYNC half of the regression gate: computed lazily on
+    # the first amending trial-commit, then maintained across commits.
+    ssync_won_baseline: Optional[FrozenSet[int]] = None
+
+    # Whole-chain refutations from the regression gate, fed back into the
+    # chain search so rejected chains are re-derived differently (in-memory
+    # only: a resumed run cheaply re-discovers them against its checkpointed
+    # composition).
+    refuted_chains: Set[FrozenSet[Tuple[int, str]]] = set()
+
+    def ssync_baseline() -> FrozenSet[int]:
+        nonlocal ssync_won_baseline
+        if ssync_won_baseline is None:
+            ssync_won_baseline = _won_roots(explore_current("ssync"))
+            say(f"ssync regression baseline: {len(ssync_won_baseline)} won roots")
+        return ssync_won_baseline
+
+    def amend_capacity() -> Optional[int]:
+        if not allow_amend:
+            return 0
+        if amend_budget is None:
+            return None
+        return max(0, amend_budget - len(amended))
 
     # ------------------------------------------------------------ FSYNC loop
+    def _commit_chain(chain: Amendment) -> int:
+        """Trial-commit one repair chain atomically under the regression gate.
+
+        A chain's decisions were validated *together* by the targeted replay,
+        so they are accepted or rolled back as one unit — splitting a chain
+        refutes decisions that are only wrong in isolation.  Returns the
+        number of committed decisions (0 on rejection); a rejected
+        single-decision chain is a true refutation and is blocked.
+        """
+        nonlocal report, best, won_fsync, ssync_won_baseline
+        additive_items, amend_items = split_decisions(chain, base, assigned)
+        capacity = amend_capacity()
+        if capacity is not None and len(amend_items) > capacity:
+            return 0  # over the override budget; the chain is indivisible
+        for bitmask, direction in additive_items.items():
+            assigned[bitmask] = direction
+        for bitmask, direction in amend_items.items():
+            amended[bitmask] = direction
+        trial = explore_current("fsync")
+        census = trial.root_census
+        accepted = False
+        deadlocks_ok = census.get("deadlock", 0) <= report.root_census.get("deadlock", 0)
+        if _bad(census) == 0 and deadlocks_ok and _ok(census) > best:
+            trial_won = _won_roots(trial)
+            if won_fsync <= trial_won:
+                if ssync_validate:
+                    # The SSYNC half of the gate: every chain — additive rules
+                    # can open adversarial livelocks too — must keep the
+                    # composition collision- and livelock-free under every
+                    # activation schedule and preserve every adversarially-won
+                    # root.  Gating each commit keeps the end-of-run SSYNC
+                    # validation a formality instead of a demolition.
+                    baseline = ssync_baseline()
+                    ssync_trial = explore_current("ssync")
+                    if (
+                        _bad(ssync_trial.root_census) == 0
+                        and baseline <= _won_roots(ssync_trial)
+                    ):
+                        ssync_won_baseline = _won_roots(ssync_trial)
+                        accepted = True
+                else:
+                    accepted = True
+            if accepted:
+                report, best, won_fsync = trial, _ok(census), trial_won
+                # An accepted amendment shadows (and thus retires) any
+                # additive rule previously committed for the same view.
+                for bitmask in amend_items:
+                    assigned.pop(bitmask, None)
+                return len(additive_items) + len(amend_items)
+        for bitmask in additive_items:
+            del assigned[bitmask]
+        for bitmask in amend_items:
+            del amended[bitmask]
+        if len(chain) == 1:
+            ((bitmask, direction),) = chain.items()
+            blocked.add((bitmask, blocked_name(direction)))
+        # Feed the refutation back to the chain search: the next proposal for
+        # this counterexample must be a different chain, not this one again.
+        refuted_chains.add(chain_signature(chain))
+        return 0
+
     def run_fsync_loop() -> None:
         nonlocal report, best, candidates_evaluated, explores
         for index in range(max_iterations):
             iteration_start = time.perf_counter()
             iteration_explores_before = explores
-            terminals = _terminals_by_mass(report.graph)
+            capacity = amend_capacity()
+            amending = allow_amend and capacity != 0
+            terminals = _counterexamples_by_mass(report.graph, include_failures=amending)
             if not terminals:
                 break
-            pending, expansions = propose_chains(
+            chains, expansions = propose_chain_list(
                 terminals,
                 base,
                 assigned,
@@ -365,18 +596,46 @@ def synthesize(
                 max_depth=max_depth,
                 branch=branch,
                 workers=workers,
+                amended=amended,
+                allow_amend=amending,
+                amend_branch=amend_branch,
+                refuted=refuted_chains,
             )
             candidates_evaluated += expansions
-            if not pending:
+            if not chains:
                 say(f"iteration {len(iterations)}: no repair chains found")
                 break
 
             blocked_before = len(blocked)
-            committed = _commit_bisect(pending)
+            refuted_before = len(refuted_chains)
+            committed = 0
+            proposed = 0
+            attempted: Set[FrozenSet[Tuple[int, str]]] = set()
+            for _, chain in chains:
+                # Decisions an earlier accepted chain already settled drop
+                # out; a conflicting decision for a committed view drops too
+                # (one decision per view).
+                remaining = {
+                    bitmask: direction
+                    for bitmask, direction in chain.items()
+                    if bitmask not in amended
+                    and not (bitmask in assigned and assigned[bitmask] == direction)
+                }
+                if not remaining:
+                    continue
+                signature = frozenset(
+                    (bitmask, blocked_name(direction))
+                    for bitmask, direction in remaining.items()
+                )
+                if signature in attempted:
+                    continue  # identical chain proposed for another terminal
+                attempted.add(signature)
+                proposed += len(remaining)
+                committed += _commit_chain(remaining)
             record = IterationRecord(
                 index=len(iterations),
                 counterexamples=len(terminals),
-                proposed=len(pending),
+                proposed=proposed,
                 committed=committed,
                 expansions=expansions,
                 explores=explores - iteration_explores_before,
@@ -390,38 +649,12 @@ def synthesize(
                 f"census {dict(record.census)}"
             )
             checkpoint(dict(report.root_census), base_census)
-            if committed == 0 and len(blocked) == blocked_before:
+            if (
+                committed == 0
+                and len(blocked) == blocked_before
+                and len(refuted_chains) == refuted_before
+            ):
                 break
-
-    def _commit_bisect(pending: Assignment) -> int:
-        """Trial-commit ``pending`` with bisection blame; returns commits."""
-        nonlocal report, best
-        committed = 0
-
-        def attempt(items: List[Tuple[int, Direction]]) -> None:
-            nonlocal committed, report, best
-            if not items:
-                return
-            for bitmask, direction in items:
-                assigned[bitmask] = direction
-            trial = explore_current("fsync")
-            census = trial.root_census
-            if _bad(census) == 0 and _ok(census) > best:
-                report, best = trial, _ok(census)
-                committed += len(items)
-                return
-            for bitmask, _ in items:
-                del assigned[bitmask]
-            if len(items) == 1:
-                bitmask, direction = items[0]
-                blocked.add((bitmask, direction.name))
-                return
-            middle = len(items) // 2
-            attempt(items[:middle])
-            attempt(items[middle:])
-
-        attempt(sorted(pending.items()))
-        return committed
 
     run_fsync_loop()
 
@@ -429,7 +662,7 @@ def synthesize(
     validated: Optional[bool] = None
     ssync_census: Optional[Dict[str, int]] = None
     if ssync_validate:
-        for _ in range(max(len(assigned), 1)):
+        for _ in range(max(len(assigned) + len(amended), 1)):
             ssync_report = explore_current("ssync", with_witnesses=True)
             ssync_census = dict(ssync_report.root_census)
             if _bad(ssync_census) == 0:
@@ -439,16 +672,22 @@ def synthesize(
             for kind in ("collision", "livelock"):
                 witness = ssync_report.witnesses.get(kind)
                 if witness is not None:
-                    blamed |= _fired_assignments(witness, base, assigned)
+                    blamed |= _fired_assignments(witness, base, assigned, amended)
             say(f"ssync refinement: census {ssync_census}, blaming {len(blamed)} rules")
             if not blamed:
                 validated = False  # cannot attribute the failure to a rule
                 break
             for bitmask in blamed:
-                blocked.add((bitmask, assigned[bitmask].name))
-                del assigned[bitmask]
+                if bitmask in assigned:
+                    blocked.add((bitmask, assigned[bitmask].name))
+                    del assigned[bitmask]
+                elif bitmask in amended:
+                    blocked.add((bitmask, blocked_name(amended[bitmask])))
+                    del amended[bitmask]
             report = explore_current("fsync")
             best = _ok(report.root_census)
+            won_fsync = _won_roots(report)
+            ssync_won_baseline = None  # the composition changed; recompute lazily
             run_fsync_loop()
         else:
             validated = False
@@ -462,7 +701,9 @@ def synthesize(
     name = ruleset_name or f"synth[{resolved_base_name}]"
     result = SynthesisResult(
         base_name=resolved_base_name,
-        ruleset=overrides_to_ruleset(assigned, name, base.visibility_range),
+        ruleset=overrides_to_ruleset(
+            assigned, name, base.visibility_range, amendments=amended
+        ),
         base_census=base_census,
         final_census=dict(report.root_census),
         ssync_census=ssync_census,
@@ -475,7 +716,8 @@ def synthesize(
     )
     say(
         f"done: {result.base_ok} -> {result.final_ok} of "
-        f"{sum(result.final_census.values())} roots with {len(result.ruleset)} rules"
+        f"{sum(result.final_census.values())} roots with {len(result.ruleset)} rules "
+        f"({result.override_rules} overriding)"
     )
     return result
 

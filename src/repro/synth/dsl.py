@@ -36,6 +36,19 @@ Atoms
     centroid of the visible robots (observer included) — the compaction
     feature the candidate generator ranks moves by.
 
+Rule modes
+----------
+A rule is either an **extension** (``mode="extend"``, the default) or an
+**override** (``mode="override"``).  Extension rules follow the additive
+composition contract of :class:`repro.algorithms.composed.ComposedAlgorithm`:
+they are consulted only where the base algorithm stays, so they provably
+preserve every execution the base already wins.  Override rules are consulted
+*before* the base algorithm and may replace a printed move — including with a
+forced stay (``direction=None``) — which is the repair space the residual
+mid-move disconnections of Theorem 2 require.  Override commits are therefore
+guarded by the CEGIS won-root regression gate (:mod:`repro.synth.cegis`)
+instead of by construction.
+
 Equivariance
 ------------
 Robots share a compass, so rules are *not* required to be symmetric — but the
@@ -61,6 +74,7 @@ from ..grid.symmetry import reflect_x, rotate, symmetry_order
 
 __all__ = [
     "ATOM_KINDS",
+    "RULE_MODES",
     "Atom",
     "GuardRule",
     "RuleSet",
@@ -71,6 +85,13 @@ __all__ = [
 
 #: An atom is a tagged tuple; the first element names the predicate.
 Atom = Tuple[Any, ...]
+
+#: The composition modes a rule may declare (see the module docstring).
+RULE_MODES = ("extend", "override")
+
+#: Atom kinds whose predicate depends on the rule's move direction; they are
+#: meaningless for a forced-stay override rule (``direction=None``).
+_DIRECTIONAL_ATOMS = ("conn_safe", "uncontested", "toward_centroid")
 
 #: Every atom kind the DSL understands, in documentation order.
 ATOM_KINDS = (
@@ -243,15 +264,41 @@ class GuardRule:
     rule_id: str
     #: The conjunction; the rule fires when every atom holds.
     atoms: Tuple[Atom, ...]
-    #: The move the rule prescribes when it fires.
-    direction: Direction
+    #: The move the rule prescribes when it fires.  ``None`` means a forced
+    #: stay and is only legal for override rules (an extension rule that stays
+    #: would be indistinguishable from no rule at all).
+    direction: Optional[Direction]
     #: Visibility range the atoms are interpreted over.
     visibility_range: int = 2
+    #: Composition mode: ``"extend"`` (additive, consulted on base stays) or
+    #: ``"override"`` (consulted before the base; may amend a printed move).
+    mode: str = "extend"
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "atoms", tuple(_canonical_atom(a) for a in self.atoms)
         )
+        if self.mode not in RULE_MODES:
+            raise ValueError(
+                f"unknown rule mode {self.mode!r}; available: {RULE_MODES}"
+            )
+        if self.direction is None:
+            if self.mode != "override":
+                raise ValueError(
+                    f"rule {self.rule_id!r}: direction=None (forced stay) "
+                    "requires mode='override'"
+                )
+            directional = [a[0] for a in self.atoms if a[0] in _DIRECTIONAL_ATOMS]
+            if directional:
+                raise ValueError(
+                    f"rule {self.rule_id!r}: atoms {directional} need a move "
+                    "direction and cannot guard a forced stay"
+                )
+
+    @property
+    def is_override(self) -> bool:
+        """Whether the rule amends the base algorithm (``mode="override"``)."""
+        return self.mode == "override"
 
     # -------------------------------------------------------------- semantics
     def matches(self, view: View) -> bool:
@@ -263,17 +310,23 @@ class GuardRule:
         """The rule after applying a D6 element to labels, masks and direction.
 
         For every view ``v``: ``rule.matches(v)`` iff
-        ``rule.transformed(g).matches(transform_view(v, g))``.
+        ``rule.transformed(g).matches(transform_view(v, g))``.  A forced stay
+        is fixed by every group element (the origin does not move).
         """
-        vector = transform_offset(self.direction.value, rotation, reflect)
+        if self.direction is None:
+            direction: Optional[Direction] = None
+        else:
+            vector = transform_offset(self.direction.value, rotation, reflect)
+            direction = direction_from_vector((vector.q, vector.r))
         return GuardRule(
             rule_id=self.rule_id,
             atoms=tuple(
                 _transform_atom(a, rotation, reflect, self.visibility_range)
                 for a in self.atoms
             ),
-            direction=direction_from_vector((vector.q, vector.r)),
+            direction=direction,
             visibility_range=self.visibility_range,
+            mode=self.mode,
         )
 
     # ---------------------------------------------------------- serialization
@@ -282,18 +335,21 @@ class GuardRule:
         return {
             "rule_id": self.rule_id,
             "atoms": [list(a) for a in self.atoms],
-            "direction": self.direction.name,
+            "direction": None if self.direction is None else self.direction.name,
             "visibility_range": self.visibility_range,
+            "mode": self.mode,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "GuardRule":
-        """Invert :meth:`to_dict`."""
+        """Invert :meth:`to_dict` (``mode`` defaults to the pre-override DSL)."""
+        name = data["direction"]
         return cls(
             rule_id=str(data["rule_id"]),
             atoms=tuple(tuple(a) for a in data["atoms"]),
-            direction=Direction[data["direction"]],
+            direction=None if name is None else Direction[name],
             visibility_range=int(data.get("visibility_range", 2)),
+            mode=str(data.get("mode", "extend")),
         )
 
 
@@ -303,6 +359,12 @@ class RuleSet:
 
     The first rule whose conjunction holds fires; a rule set with no firing
     rule returns ``None`` (stay), exactly like the hand-written algorithms.
+
+    A rule set may mix the two composition modes.  The layered accessors
+    (:meth:`decide_override`, :meth:`compute_extend`) let
+    :class:`repro.algorithms.composed.ComposedAlgorithm` consult the override
+    rules *before* the base algorithm and the extension rules only on base
+    stays; a rule set without override rules composes exactly as before.
     """
 
     name: str
@@ -310,6 +372,21 @@ class RuleSet:
 
     def __len__(self) -> int:
         return len(self.rules)
+
+    @property
+    def override_rules(self) -> Tuple[GuardRule, ...]:
+        """The override-mode rules, in priority order."""
+        return tuple(rule for rule in self.rules if rule.is_override)
+
+    @property
+    def extend_rules(self) -> Tuple[GuardRule, ...]:
+        """The extension-mode (additive) rules, in priority order."""
+        return tuple(rule for rule in self.rules if not rule.is_override)
+
+    @property
+    def has_overrides(self) -> bool:
+        """Whether any rule may amend a printed move of the base algorithm."""
+        return any(rule.is_override for rule in self.rules)
 
     def explain(self, view: View) -> Tuple[Optional[str], Move]:
         """``(rule_id, move)`` of the first firing rule, or ``(None, None)``."""
@@ -323,6 +400,33 @@ class RuleSet:
         return self.explain(view)[1]
 
     __call__ = compute
+
+    # ------------------------------------------------------- layered protocol
+    def decide_override(self, view: View) -> Tuple[bool, Optional[str], Move]:
+        """``(matched, rule_id, move)`` of the first firing *override* rule.
+
+        The ``matched`` flag distinguishes "no override applies" (the base
+        algorithm decides) from "an override forces a stay" (``move=None``
+        replaces the printed move).
+        """
+        for rule in self.rules:
+            if rule.is_override and rule.matches(view):
+                return (True, rule.rule_id, rule.direction)
+        return (False, None, None)
+
+    def compute_extend(self, view: View) -> Move:
+        """The move of the first firing *extension* rule (additive layer)."""
+        for rule in self.rules:
+            if not rule.is_override and rule.matches(view):
+                return rule.direction
+        return None
+
+    def explain_extend(self, view: View) -> Tuple[Optional[str], Move]:
+        """``(rule_id, move)`` of the first firing extension rule."""
+        for rule in self.rules:
+            if not rule.is_override and rule.matches(view):
+                return (rule.rule_id, rule.direction)
+        return (None, None)
 
     def extended(self, rules: Tuple[GuardRule, ...], name: Optional[str] = None) -> "RuleSet":
         """A new rule set with ``rules`` appended (lower priority than existing)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..algorithms.composed import ComposedAlgorithm
 from ..core.algorithm import GatheringAlgorithm, Move
@@ -22,28 +22,49 @@ from .dsl import GuardRule, RuleSet
 
 __all__ = [
     "LEARNED_RULESET_PATH",
+    "LEARNED_AMEND_RULESET_PATH",
     "OverrideAlgorithm",
     "overrides_to_ruleset",
     "ruleset_to_overrides",
+    "ruleset_layers",
     "ruleset_algorithm",
     "load_ruleset",
     "save_ruleset",
     "learned_ruleset",
     "learned_algorithm",
+    "learned_amend_ruleset",
+    "learned_amend_algorithm",
 ]
 
-#: The committed best-found repair for ``shibata-visibility2`` (see ROADMAP).
+#: The committed best-found additive repair for ``shibata-visibility2``.
 LEARNED_RULESET_PATH = Path(__file__).resolve().parent / "data" / "learned_visibility2.json"
+
+#: The committed best-found *amending* repair (additive + override rules),
+#: registered as ``shibata-visibility2-synth2`` (see ROADMAP).
+LEARNED_AMEND_RULESET_PATH = (
+    Path(__file__).resolve().parent / "data" / "learned_visibility2_amend.json"
+)
+
+#: Raw amending assignments: ``view bitmask -> move`` where ``None`` is a
+#: forced stay that suppresses the base algorithm's printed move.
+Amendments = Dict[int, Optional[Direction]]
 
 
 class OverrideAlgorithm(GatheringAlgorithm):
-    """The search-time composition: base plus raw ``bitmask -> move`` overrides.
+    """The search-time composition: base plus raw ``bitmask -> move`` layers.
 
     Functionally identical to composing the base with the exact-view rule set
     of :func:`overrides_to_ruleset`, but skips the DSL interpreter in the
-    inner simulation loop.  Base decisions are memoized through the *base*
-    instance's decision cache, so thousands of trial compositions sharing one
-    base amortize the expensive hand-written guard evaluation.
+    inner simulation loop.  Two layers mirror the rule modes of the DSL:
+
+    * ``overrides`` — additive assignments, consulted only when the base
+      stays (extension rules);
+    * ``amendments`` — consulted *before* the base; a hit replaces the
+      printed move, and a ``None`` value forces a stay (override rules).
+
+    Base decisions are memoized through the *base* instance's decision cache,
+    so thousands of trial compositions sharing one base amortize the
+    expensive hand-written guard evaluation.
     """
 
     def __init__(
@@ -51,21 +72,34 @@ class OverrideAlgorithm(GatheringAlgorithm):
         base: GatheringAlgorithm,
         overrides: Dict[int, Direction],
         name: Optional[str] = None,
+        amendments: Optional[Amendments] = None,
     ) -> None:
         self.base = base
         self.overrides = dict(overrides)
+        self.amendments: Amendments = dict(amendments or {})
         self.visibility_range = base.visibility_range
         self.deterministic = getattr(base, "deterministic", True)
-        self.name = name or f"{base.name}+overrides[{len(self.overrides)}]"
+        self.name = name or (
+            f"{base.name}+overrides[{len(self.overrides)}"
+            + (f"+{len(self.amendments)}a]" if self.amendments else "]")
+        )
         # Distinguish same-named compositions with different contents for the
         # persistent decision cache (see repro.core.decision_cache.cache_key).
         self.cache_fingerprint = ",".join(
-            f"{bitmask:x}:{direction.name}"
-            for bitmask, direction in sorted(self.overrides.items())
+            [
+                f"{bitmask:x}:{direction.name}"
+                for bitmask, direction in sorted(self.overrides.items())
+            ]
+            + [
+                f"{bitmask:x}!{direction.name if direction else 'STAY'}"
+                for bitmask, direction in sorted(self.amendments.items())
+            ]
         )
 
     def compute(self, view: View) -> Move:
         bitmask = view.bitmask()
+        if self.amendments and bitmask in self.amendments:
+            return self.amendments[bitmask]
         cache = decision_cache_for(self.base)
         if cache is None:
             move = self.base.compute(view)
@@ -84,13 +118,30 @@ def overrides_to_ruleset(
     overrides: Dict[int, Direction],
     name: str,
     visibility_range: int = 2,
+    amendments: Optional[Amendments] = None,
 ) -> RuleSet:
     """Express raw assignments as a declarative exact-view rule set.
 
-    Rules are emitted in deterministic (bitmask-sorted) order; exact-view
-    conjunctions are mutually exclusive, so the order never changes behaviour.
+    ``overrides`` become extension rules, ``amendments`` become override
+    rules (override rules first, so the rule order documents the precedence
+    the composition applies anyway).  Rules are emitted in deterministic
+    (bitmask-sorted) order; exact-view conjunctions are mutually exclusive,
+    so the order never changes behaviour within a mode.
     """
-    rules = tuple(
+    amend_rules = tuple(
+        GuardRule(
+            rule_id=(
+                f"synth:amend:{bitmask:#x}->"
+                + (amendments[bitmask].name if amendments[bitmask] else "STAY")
+            ),
+            atoms=(("view_eq", bitmask),),
+            direction=amendments[bitmask],
+            visibility_range=visibility_range,
+            mode="override",
+        )
+        for bitmask in sorted(amendments or {})
+    )
+    extend_rules = tuple(
         GuardRule(
             rule_id=f"synth:view:{bitmask:#x}->{overrides[bitmask].name}",
             atoms=(("view_eq", bitmask),),
@@ -99,27 +150,48 @@ def overrides_to_ruleset(
         )
         for bitmask in sorted(overrides)
     )
-    return RuleSet(name=name, rules=rules)
+    return RuleSet(name=name, rules=amend_rules + extend_rules)
 
 
 def ruleset_to_overrides(ruleset: RuleSet) -> Dict[int, Direction]:
-    """Invert :func:`overrides_to_ruleset` for pure exact-view rule sets.
+    """Invert :func:`overrides_to_ruleset` for pure additive exact-view sets.
 
     Raises
     ------
     ValueError
         If a rule is not a single ``view_eq`` conjunction (general DSL rules
-        cover many views and have no unique assignment form).
+        cover many views and have no unique assignment form) or the set
+        contains override rules (use :func:`ruleset_layers`).
+    """
+    overrides, amendments = ruleset_layers(ruleset)
+    if amendments:
+        raise ValueError(
+            f"rule set {ruleset.name!r} has {len(amendments)} override rule(s); "
+            "use ruleset_layers to recover both layers"
+        )
+    return overrides
+
+
+def ruleset_layers(ruleset: RuleSet) -> Tuple[Dict[int, Direction], Amendments]:
+    """Split an exact-view rule set into ``(overrides, amendments)`` layers.
+
+    The inverse of :func:`overrides_to_ruleset` for rule sets that may mix
+    extension and override rules.  Raises :class:`ValueError` for rules that
+    are not single ``view_eq`` conjunctions.
     """
     overrides: Dict[int, Direction] = {}
+    amendments: Amendments = {}
     for rule in ruleset.rules:
         if len(rule.atoms) != 1 or rule.atoms[0][0] != "view_eq":
             raise ValueError(
                 f"rule {rule.rule_id!r} is not an exact-view rule; "
-                "cannot convert to overrides"
+                "cannot convert to assignments"
             )
-        overrides[rule.atoms[0][1]] = rule.direction
-    return overrides
+        if rule.is_override:
+            amendments[rule.atoms[0][1]] = rule.direction
+        else:
+            overrides[rule.atoms[0][1]] = rule.direction
+    return overrides, amendments
 
 
 def ruleset_algorithm(
@@ -178,4 +250,26 @@ def learned_algorithm() -> ComposedAlgorithm:
         ShibataGatheringAlgorithm(),
         learned_ruleset(),
         name="shibata-visibility2-synth",
+    )
+
+
+def learned_amend_ruleset() -> RuleSet:
+    """The committed amending repair rule set (extension + override rules)."""
+    return load_ruleset(LEARNED_AMEND_RULESET_PATH)
+
+
+def learned_amend_algorithm() -> ComposedAlgorithm:
+    """The registered ``shibata-visibility2-synth2`` algorithm.
+
+    ``shibata-visibility2`` composed with the committed amending rule set —
+    the move-amending CEGIS result that closes the residual mid-move
+    disconnections of Theorem 2.  Its census is recorded in
+    :mod:`repro.analysis.census_pins` and pinned by the tier-1 tests.
+    """
+    from ..algorithms.visibility2 import ShibataGatheringAlgorithm
+
+    return ruleset_algorithm(
+        ShibataGatheringAlgorithm(),
+        learned_amend_ruleset(),
+        name="shibata-visibility2-synth2",
     )

@@ -18,13 +18,23 @@ backtracks on collisions, disconnections and cycles.  The candidate ordering
 is the priority part of the search: moves that approach the centroid of the
 configuration (the paper's compaction strategy, generalized) are tried first.
 
-Chain search over many terminals is embarrassingly parallel and fans out over
-:func:`repro.core.runner.run_chunked_tasks`, like every other batch workload
-in this repository.
+With ``allow_amend=True`` the search additionally proposes candidates at
+**moving** (non-quiescent) configurations: when the forward replay hits a
+mid-move failure — a disconnection, collision or cycle — the configuration
+*one round before* the failure is the counterexample, and the candidates are
+**amendments** that replace a mover's printed move (with a forced stay or a
+different safe direction) or add a move for a robot the printed rules leave
+idle.  Amendments forfeit the additive layer's preserves-by-construction
+guarantee, which is why the CEGIS loop guards their commits with the
+won-root regression gate.
+
+Chain search over many counterexamples is embarrassingly parallel and fans
+out over :func:`repro.core.runner.run_chunked_tasks`, like every other batch
+workload in this repository.
 """
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..algorithms.guards import connectivity_safe
 from ..core.algorithm import GatheringAlgorithm
@@ -37,27 +47,53 @@ from ..core.engine import (
 )
 from ..core.runner import run_chunked_tasks
 from ..core.view import View
+from ..grid.coords import Coord
 from ..grid.directions import Direction
 from ..grid.packing import pack_nodes, unpack_nodes, view_bitmask
 from .ruleset import OverrideAlgorithm
 
 __all__ = [
     "Assignment",
+    "Amendment",
+    "blocked_name",
+    "chain_signature",
     "candidate_moves",
+    "amend_candidates",
     "simulate_to_quiescence",
+    "simulate_outcome",
     "repair_chain",
     "propose_chains",
+    "propose_chain_list",
     "SIMULATE_MAX_ROUNDS",
 ]
 
-#: One synthesized decision: ``view bitmask -> direction``.
+#: One synthesized additive decision: ``view bitmask -> direction``.
 Assignment = Dict[int, Direction]
+
+#: Amending decisions: ``view bitmask -> direction or None`` (forced stay).
+Amendment = Dict[int, Optional[Direction]]
 
 #: Pairs the verifier has refuted; the search must not propose them again.
 BlockedPairs = Set[Tuple[int, str]]
 
+#: Whole chains the verifier has refuted (as frozen decision signatures); the
+#: search must derive a *different* chain rather than re-propose one of these.
+RefutedChains = Set[FrozenSet[Tuple[int, str]]]
+
+
+def chain_signature(chain: Amendment) -> FrozenSet[Tuple[int, str]]:
+    """The canonical refutation signature of a repair chain."""
+    return frozenset(
+        (bitmask, blocked_name(direction)) for bitmask, direction in chain.items()
+    )
+
 #: Round budget for the targeted forward replay between two quiescent points.
 SIMULATE_MAX_ROUNDS = 300
+
+
+def blocked_name(direction: Optional[Direction]) -> str:
+    """The blocked-pair name of a candidate move (``"STAY"`` for ``None``)."""
+    return direction.name if direction is not None else "STAY"
 
 
 def _centroid_gain(
@@ -111,38 +147,96 @@ def candidate_moves(
     return [(bitmask, direction) for _, bitmask, direction in options]
 
 
-def simulate_to_quiescence(
+def amend_candidates(
+    positions: Sequence[Tuple[int, int]],
+    intents: Dict[Coord, Direction],
+    blocked: Optional[BlockedPairs] = None,
+    visibility_range: int = 2,
+) -> List[Tuple[int, Optional[Direction]]]:
+    """Candidate amendments at a *moving* (non-quiescent) configuration.
+
+    ``intents`` are the composed algorithm's full-activation move intents at
+    ``positions`` (the moves the next round would commit).  For every mover
+    the candidates are a **forced stay** (``None``) plus every safe
+    redirection; for every idle robot they are the additive candidates of
+    :func:`candidate_moves` — the "idle-robot addition at a moving
+    configuration" the quiescent-only search could never propose.  Forced
+    stays rank first (they stabilize the round the failure happens in), then
+    moves by centroid-approach priority; ties break deterministically.
+    """
+    options: List[Tuple[int, int, int, str]] = []
+    for pos in positions:
+        bitmask = view_bitmask(positions, pos, visibility_range)
+        view = View.from_bitmask(bitmask, visibility_range)
+        current = intents.get(Coord(pos[0], pos[1]))
+        if current is not None and (blocked is None or (bitmask, "STAY") not in blocked):
+            options.append((0, 0, bitmask, "STAY"))
+        for direction in Direction:
+            if direction == current:
+                continue
+            if blocked is not None and (bitmask, direction.name) in blocked:
+                continue
+            if view.occupied(direction.value):
+                continue
+            if not connectivity_safe(view, direction):
+                continue
+            options.append(
+                (1, _centroid_gain(positions, pos, direction), bitmask, direction.name)
+            )
+    options.sort()
+    return [
+        (bitmask, None if name == "STAY" else Direction[name])
+        for _, _, bitmask, name in options
+    ]
+
+
+def simulate_outcome(
     packed: int,
     algorithm: GatheringAlgorithm,
     max_rounds: int = SIMULATE_MAX_ROUNDS,
-) -> Tuple[str, int]:
+) -> Tuple[str, int, int]:
     """FSYNC-run a packed configuration until it settles or fails.
 
-    Returns ``(status, packed')`` where status is ``"gathered"``, ``"stuck"``
-    (quiescent but not gathered), ``"collision"``, ``"disconnected"``,
-    ``"livelock"`` (a configuration repeated) or ``"round-limit"``.  This is
-    the targeted replay the scorer uses instead of a full exhaustive sweep:
-    it touches exactly the states on this counterexample's path.
+    Returns ``(status, packed', pre_failure)`` where status is
+    ``"gathered"``, ``"stuck"`` (quiescent but not gathered), ``"collision"``,
+    ``"disconnected"``, ``"livelock"`` (a configuration repeated) or
+    ``"round-limit"``.  ``pre_failure`` is the configuration in which the
+    failing round's moves were computed — the vertex an *amending* repair
+    must target (for terminal statuses it equals ``packed'``).  This is the
+    targeted replay the scorer uses instead of a full exhaustive sweep: it
+    touches exactly the states on this counterexample's path.
     """
     nodes = frozenset(unpack_nodes(packed))
-    seen = {pack_nodes(nodes)}
+    current = pack_nodes(nodes)
+    seen = {current}
     for _ in range(max_rounds):
         positions = sorted(nodes)
         intents = move_intents(positions, algorithm)
         if not intents:
             if Configuration(positions).is_gathered():
-                return "gathered", pack_nodes(nodes)
-            return "stuck", pack_nodes(nodes)
+                return "gathered", current, current
+            return "stuck", current, current
         if detect_collision_nodes(nodes, intents) is not None:
-            return "collision", pack_nodes(nodes)
+            return "collision", current, current
         nodes = apply_moves_nodes(nodes, intents)
-        if not _is_connected_nodes(nodes):
-            return "disconnected", pack_nodes(nodes)
         key = pack_nodes(nodes)
+        if not _is_connected_nodes(nodes):
+            return "disconnected", key, current
         if key in seen:
-            return "livelock", key
+            return "livelock", key, current
         seen.add(key)
-    return "round-limit", pack_nodes(nodes)
+        current = key
+    return "round-limit", current, current
+
+
+def simulate_to_quiescence(
+    packed: int,
+    algorithm: GatheringAlgorithm,
+    max_rounds: int = SIMULATE_MAX_ROUNDS,
+) -> Tuple[str, int]:
+    """:func:`simulate_outcome` without the pre-failure vertex (legacy API)."""
+    status, settled, _ = simulate_outcome(packed, algorithm, max_rounds)
+    return status, settled
 
 
 def repair_chain(
@@ -153,49 +247,95 @@ def repair_chain(
     budget: int = 600,
     max_depth: int = 30,
     branch: int = 6,
-) -> Tuple[Optional[Assignment], int]:
+    amended: Optional[Amendment] = None,
+    allow_amend: bool = False,
+    amend_branch: int = 10,
+    refuted: Optional[RefutedChains] = None,
+) -> Tuple[Optional[Amendment], int]:
     """Search a chain of new assignments that drives ``packed`` to gathered.
 
-    Depth-first search over quiescent configurations: at each stuck point the
-    candidates of :func:`candidate_moves` are tried in priority order (at most
-    ``branch`` per point); each choice is simulated forward with the composed
-    algorithm; collisions, disconnections, cycles and revisits prune the
-    branch.  ``budget`` bounds the number of expanded stuck points.
+    Depth-first search over counterexample configurations: at each quiescent
+    stuck point the additive candidates of :func:`candidate_moves` are tried
+    in priority order (at most ``branch`` per point); with ``allow_amend``,
+    each mid-move failure (disconnection, collision, cycle) is expanded at
+    its pre-failure configuration with at most ``amend_branch`` amendments
+    from :func:`amend_candidates`.  Each choice is simulated forward with the
+    composed algorithm; unrepairable failures prune the branch.  ``budget``
+    bounds the number of expanded counterexample points.
 
-    Returns ``(chain, expansions)`` — the extra assignments on success (may be
-    empty if the configuration already gathers), ``None`` if the budget,
-    depth or candidate space is exhausted.
+    ``refuted`` is the verifier's feedback channel: chains whose signature
+    the regression gate has already rejected make the DFS backtrack and
+    derive an *alternative* chain instead of re-proposing the refuted one —
+    the refinement half of the CEGIS triangle at chain granularity.
+
+    Returns ``(chain, expansions)`` — the extra decisions on success (may be
+    empty if the configuration already gathers; values are ``None`` for
+    forced stays), ``None`` if the budget, depth or candidate space is
+    exhausted.  Chain entries at views where the base algorithm moves (or
+    forcing a stay anywhere) are amendments; the CEGIS loop splits them into
+    layers with :func:`repro.synth.cegis.split_decisions`.
     """
+    committed_amend = amended or {}
     failed: Set[int] = set()
     expansions = 0
 
     def dfs(
-        current: int, extra: Assignment, depth: int, path: FrozenSet[int]
-    ) -> Optional[Assignment]:
+        current: int, extra: Amendment, depth: int, path: FrozenSet[int]
+    ) -> Optional[Amendment]:
         nonlocal expansions
         if expansions >= budget or depth > max_depth:
             return None
-        algorithm = OverrideAlgorithm(base, {**assigned, **extra})
-        status, settled = simulate_to_quiescence(current, algorithm)
+        algorithm = OverrideAlgorithm(
+            base, assigned, amendments={**committed_amend, **extra}
+        )
+        status, settled, pre_failure = simulate_outcome(current, algorithm)
         if status == "gathered":
+            if refuted and extra and chain_signature(extra) in refuted:
+                return None  # the verifier rejected this exact chain: backtrack
             return extra
-        if status != "stuck" or settled in path or settled in failed:
+        if status == "stuck":
+            if settled in path or settled in failed:
+                return None
+            expansions += 1
+            positions = unpack_nodes(settled)
+            options = candidate_moves(positions, blocked, base.visibility_range)
+            for bitmask, direction in options[:branch]:
+                if bitmask in assigned or bitmask in committed_amend or bitmask in extra:
+                    continue
+                found = dfs(
+                    settled,
+                    {**extra, bitmask: direction},
+                    depth + 1,
+                    path | {settled},
+                )
+                if found is not None:
+                    return found
+            failed.add(settled)
             return None
-        expansions += 1
-        positions = unpack_nodes(settled)
-        options = candidate_moves(positions, blocked, base.visibility_range)
-        for bitmask, direction in options[:branch]:
-            if bitmask in assigned or bitmask in extra:
-                continue
-            found = dfs(
-                settled,
-                {**extra, bitmask: direction},
-                depth + 1,
-                path | {settled},
-            )
-            if found is not None:
-                return found
-        failed.add(settled)
+        if allow_amend and status in ("disconnected", "collision", "livelock"):
+            if pre_failure in path or pre_failure in failed:
+                return None
+            expansions += 1
+            positions = unpack_nodes(pre_failure)
+            intents = move_intents(positions, algorithm)
+            options = amend_candidates(positions, intents, blocked, base.visibility_range)
+            for bitmask, direction in options[:amend_branch]:
+                # Unlike the additive branch, an amendment may re-target a view
+                # that already carries a committed *additive* rule (the
+                # amendment layer shadows it); only views with a committed or
+                # in-chain amendment are off limits.
+                if bitmask in committed_amend or bitmask in extra:
+                    continue
+                found = dfs(
+                    pre_failure,
+                    {**extra, bitmask: direction},
+                    depth + 1,
+                    path | {pre_failure},
+                )
+                if found is not None:
+                    return found
+            failed.add(pre_failure)
+            return None
         return None
 
     return dfs(packed, {}, 0, frozenset()), expansions
@@ -205,24 +345,63 @@ def repair_chain(
 # Parallel chain proposal over many counterexamples.
 # ---------------------------------------------------------------------------
 
-_ChainPayload = Tuple[str, Dict[int, str], List[Tuple[int, str]], List[int], Tuple[int, int, int]]
+_ChainPayload = Tuple[
+    str,
+    Dict[int, str],
+    Dict[int, str],
+    List[Tuple[int, str]],
+    List[List[Tuple[int, str]]],
+    List[int],
+    Tuple[int, int, int, bool, int],
+]
+
+
+def _encode_direction(direction: Optional[Direction]) -> str:
+    return direction.name if direction is not None else "STAY"
+
+
+def _decode_direction(name: str) -> Optional[Direction]:
+    return None if name == "STAY" else Direction[name]
 
 
 def _chain_chunk(payload: _ChainPayload) -> List[Tuple[Optional[Dict[int, str]], int]]:
     """Worker entry point: run the chain search for one chunk of terminals."""
-    base_name, assigned_names, blocked_list, terminals, (budget, max_depth, branch) = payload
+    (
+        base_name,
+        assigned_names,
+        amended_names,
+        blocked_list,
+        refuted_list,
+        terminals,
+        params,
+    ) = payload
+    budget, max_depth, branch, allow_amend, amend_branch = params
     from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
 
     base = create_algorithm(base_name)
     assigned = {bm: Direction[name] for bm, name in assigned_names.items()}
+    amended = {bm: _decode_direction(name) for bm, name in amended_names.items()}
     blocked = set(blocked_list)
+    refuted = {frozenset((bm, name) for bm, name in sig) for sig in refuted_list}
     results: List[Tuple[Optional[Dict[int, str]], int]] = []
     for packed in terminals:
         chain, expansions = repair_chain(
-            packed, base, assigned, blocked, budget=budget, max_depth=max_depth, branch=branch
+            packed,
+            base,
+            assigned,
+            blocked,
+            budget=budget,
+            max_depth=max_depth,
+            branch=branch,
+            amended=amended,
+            allow_amend=allow_amend,
+            amend_branch=amend_branch,
+            refuted=refuted,
         )
         encoded = (
-            None if chain is None else {bm: d.name for bm, d in chain.items()}
+            None
+            if chain is None
+            else {bm: _encode_direction(d) for bm, d in chain.items()}
         )
         results.append((encoded, expansions))
     return results
@@ -239,48 +418,164 @@ def propose_chains(
     branch: int = 6,
     workers: int = 1,
     chunk_size: int = 16,
-) -> Tuple[Assignment, int]:
-    """Aggregate repair chains for many stuck terminals into one proposal.
+    amended: Optional[Amendment] = None,
+    allow_amend: bool = False,
+    amend_branch: int = 10,
+    refuted: Optional[RefutedChains] = None,
+) -> Tuple[Amendment, int]:
+    """Aggregate repair chains for many counterexamples into one proposal.
 
     Chains are merged first-wins per view bitmask (conflicting follow-up
     chains are re-derived in the next CEGIS iteration once the first repair
-    is committed or refuted).  Returns ``(pending assignments, expansions)``.
-    With ``workers > 1`` the terminals fan out over a spawn pool, which
-    requires ``base_name`` so workers can rebuild the base algorithm from the
+    is committed or refuted).  Returns ``(pending decisions, expansions)``;
+    pending values are ``None`` for forced-stay amendments.  With
+    ``workers > 1`` the terminals fan out over a spawn pool, which requires
+    ``base_name`` so workers can rebuild the base algorithm from the
     registry.
     """
-    pending: Assignment = {}
+    pending: Amendment = {}
     total_expansions = 0
+    committed_amend = amended or {}
     if workers > 1:
         if base_name is None:
             raise ValueError("parallel chain search requires base_name (registry lookup)")
-        assigned_names = {bm: d.name for bm, d in assigned.items()}
-        blocked_list = sorted(blocked) if blocked else []
-        params = (budget, max_depth, branch)
-        payloads: List[_ChainPayload] = [
-            (base_name, assigned_names, blocked_list, list(terminals[i : i + chunk_size]), params)
-            for i in range(0, len(terminals), chunk_size)
-        ]
+        payloads = _chain_payloads(
+            terminals,
+            base_name,
+            assigned,
+            committed_amend,
+            blocked,
+            refuted,
+            chunk_size,
+            (budget, max_depth, branch, allow_amend, amend_branch),
+        )
         for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
             for encoded, expansions in chunk:
                 total_expansions += expansions
                 if encoded:
                     for bm, name in encoded.items():
-                        pending.setdefault(bm, Direction[name])
+                        pending.setdefault(bm, _decode_direction(name))
         return pending, total_expansions
 
     for packed in terminals:
         chain, expansions = repair_chain(
             packed,
             base,
-            {**assigned, **pending},
+            assigned,
             blocked,
             budget=budget,
             max_depth=max_depth,
             branch=branch,
+            amended={**committed_amend, **{k: v for k, v in pending.items()}},
+            allow_amend=allow_amend,
+            amend_branch=amend_branch,
+            refuted=refuted,
         )
         total_expansions += expansions
         if chain:
             for bm, direction in chain.items():
                 pending.setdefault(bm, direction)
     return pending, total_expansions
+
+
+def _chain_payloads(
+    terminals: Sequence[int],
+    base_name: str,
+    assigned: Assignment,
+    amended: Amendment,
+    blocked: Optional[BlockedPairs],
+    refuted: Optional[RefutedChains],
+    chunk_size: int,
+    params: Tuple[int, int, int, bool, int],
+) -> List[_ChainPayload]:
+    """Picklable spawn-pool payloads for one round of chain searches."""
+    assigned_names = {bm: d.name for bm, d in assigned.items()}
+    amended_names = {bm: _encode_direction(d) for bm, d in amended.items()}
+    blocked_list = sorted(blocked) if blocked else []
+    refuted_list = sorted(sorted(sig) for sig in refuted) if refuted else []
+    return [
+        (
+            base_name,
+            assigned_names,
+            amended_names,
+            blocked_list,
+            refuted_list,
+            list(terminals[i : i + chunk_size]),
+            params,
+        )
+        for i in range(0, len(terminals), chunk_size)
+    ]
+
+
+def propose_chain_list(
+    terminals: Sequence[int],
+    base: GatheringAlgorithm,
+    assigned: Assignment,
+    blocked: Optional[BlockedPairs] = None,
+    base_name: Optional[str] = None,
+    budget: int = 600,
+    max_depth: int = 30,
+    branch: int = 6,
+    workers: int = 1,
+    chunk_size: int = 16,
+    amended: Optional[Amendment] = None,
+    allow_amend: bool = False,
+    amend_branch: int = 10,
+    refuted: Optional[RefutedChains] = None,
+) -> Tuple[List[Tuple[int, Amendment]], int]:
+    """Per-counterexample repair chains, unmerged.
+
+    Unlike :func:`propose_chains`, every chain is derived independently
+    against the committed state only and returned as ``(terminal, chain)``
+    pairs in input order, so the caller can trial-commit each chain as one
+    atomic unit — a chain's decisions were validated *together* by the
+    targeted replay, and splitting them apart refutes parts that are only
+    wrong in isolation.  Returns ``(chains, expansions)``.
+    """
+    chains: List[Tuple[int, Amendment]] = []
+    total_expansions = 0
+    if workers > 1:
+        if base_name is None:
+            raise ValueError("parallel chain search requires base_name (registry lookup)")
+        payloads = _chain_payloads(
+            terminals,
+            base_name,
+            assigned,
+            amended or {},
+            blocked,
+            refuted,
+            chunk_size,
+            (budget, max_depth, branch, allow_amend, amend_branch),
+        )
+        position = 0
+        for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
+            for encoded, expansions in chunk:
+                total_expansions += expansions
+                if encoded:
+                    chains.append(
+                        (
+                            terminals[position],
+                            {bm: _decode_direction(name) for bm, name in encoded.items()},
+                        )
+                    )
+                position += 1
+        return chains, total_expansions
+
+    for packed in terminals:
+        chain, expansions = repair_chain(
+            packed,
+            base,
+            assigned,
+            blocked,
+            budget=budget,
+            max_depth=max_depth,
+            branch=branch,
+            amended=amended,
+            allow_amend=allow_amend,
+            amend_branch=amend_branch,
+            refuted=refuted,
+        )
+        total_expansions += expansions
+        if chain:
+            chains.append((packed, dict(chain)))
+    return chains, total_expansions

@@ -179,3 +179,81 @@ def test_synth_algorithm_available_for_other_commands(capsys):
     assert main(["verify", "--algorithm", "shibata-visibility2-synth", "--size", "3"]) == 1
     out = capsys.readouterr().out
     assert "configurations: 11" in out
+
+
+def test_synth2_algorithm_available_for_other_commands(capsys):
+    assert main(["verify", "--algorithm", "shibata-visibility2-synth2", "--size", "3"]) == 1
+    out = capsys.readouterr().out
+    assert "configurations: 11" in out
+
+
+def test_synth_cli_allow_amend_small_run(tmp_path, capsys):
+    output = tmp_path / "amend.json"
+    code = main(
+        [
+            "synth",
+            "--base",
+            "shibata-visibility2[minus-R3c]",
+            "--size",
+            "5",
+            "--max-iterations",
+            "2",
+            "--chain-budget",
+            "100",
+            "--max-depth",
+            "12",
+            "--branch",
+            "4",
+            "--allow-amend",
+            "--amend-branch",
+            "8",
+            "--amend-budget",
+            "4",
+            "--quiet",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code in (0, 1, 2)
+    payload = json.loads(output.read_text())
+    assert payload["override_rules"] <= 4
+    assert "override_rules" in payload["progress"]
+
+
+def test_synth_cli_seed_ruleset(tmp_path, capsys):
+    """--seed-ruleset learned starts from the committed additive repair."""
+    output = tmp_path / "seeded.json"
+    code = main(
+        [
+            "synth",
+            "--base",
+            "shibata-visibility2",
+            "--size",
+            "5",
+            "--max-iterations",
+            "0",
+            "--seed-ruleset",
+            "learned",
+            "--no-ssync-validate",
+            "--quiet",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code in (0, 1, 2)
+    payload = json.loads(output.read_text())
+    assert payload["rules"] == 35  # the seed survives a zero-iteration run
+
+
+def test_synth_cli_rejects_unreadable_seed_ruleset(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "synth",
+                "--size",
+                "5",
+                "--seed-ruleset",
+                str(tmp_path / "missing.json"),
+                "--quiet",
+            ]
+        )
