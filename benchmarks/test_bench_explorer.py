@@ -9,27 +9,43 @@ cross-check the tier-1 tests pin, here at benchmark scale — and the measured
 rates are persisted to ``BENCH_explorer.json`` so later PRs can track the
 explorer's performance trajectory alongside the kernel baseline.
 """
-import json
-import platform
 import time
-from pathlib import Path
 
 import pytest
 
+from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
 from repro.analysis.model_checking import reconcile_with_sweep
 from repro.explore import explore
-
-_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_explorer.json"
 
 #: Timings collected by the explorer benchmarks; the SSYNC benchmark (the
 #: last one in file order) persists them once both have passed.
 _EXPLORER_TIMINGS = {}
 
 
-def _timed_explore(mode):
+def _timed_explore(mode, **kwargs):
     start = time.perf_counter()
-    report = explore(algorithm_name="shibata-visibility2", size=7, mode=mode)
+    report = explore(algorithm_name="shibata-visibility2", size=7, mode=mode, **kwargs)
     return report, time.perf_counter() - start
+
+
+def _table_explores(mode, packed_report):
+    """Cold + warm table-kernel explorations, asserted graph-identical.
+
+    The cold pass pays the per-algorithm successor-table build; the warm
+    pass (same algorithm instance, table memoized) is the steady-state cost
+    every later exploration of the session pays — the number the tentpole
+    target pins.
+    """
+    algorithm = ShibataGatheringAlgorithm()
+    cold = explore(algorithm=algorithm, size=7, mode=mode, kernel="table",
+                   with_witnesses=False)
+    warm = explore(algorithm=algorithm, size=7, mode=mode, kernel="table",
+                   with_witnesses=False)
+    for report in (cold, warm):
+        assert report.graph.edges == packed_report.graph.edges
+        assert report.graph.terminal == packed_report.graph.terminal
+        assert report.root_census == packed_report.root_census
+    return cold, warm
 
 
 @pytest.mark.benchmark(group="E10-explorer")
@@ -45,6 +61,10 @@ def test_explorer_fsync_full_state_space(benchmark, paper_algorithm_report,
 
     benchmark.pedantic(lambda: _timed_explore("fsync"), rounds=1, iterations=1)
 
+    # The table kernel must rebuild the same graph, byte for byte, and the
+    # warm (table memoized) build is the steady-state cost of the session.
+    table_cold, table_warm = _table_explores("fsync", report)
+
     _EXPLORER_TIMINGS.update(
         {
             "fsync_nodes": report.graph.num_nodes,
@@ -55,6 +75,8 @@ def test_explorer_fsync_full_state_space(benchmark, paper_algorithm_report,
             "fsync_witness_seconds": round(report.witness_seconds, 4),
             "fsync_total_seconds": round(total_seconds, 4),
             "fsync_root_census": dict(report.root_census),
+            "table_fsync_build_seconds": round(table_cold.graph.elapsed_seconds, 4),
+            "table_fsync_build_warm_seconds": round(table_warm.graph.elapsed_seconds, 4),
         }
     )
     bench_timings["explorer_fsync_seconds"] = round(total_seconds, 4)
@@ -65,6 +87,8 @@ def test_explorer_fsync_full_state_space(benchmark, paper_algorithm_report,
                 "nodes": report.graph.num_nodes,
                 "edges": report.graph.num_edges,
                 "build s": round(report.graph.elapsed_seconds, 3),
+                "table build s (cold/warm)": "%.3f / %.3f"
+                % (table_cold.graph.elapsed_seconds, table_warm.graph.elapsed_seconds),
                 "classify s": round(report.classify_seconds, 3),
                 "nodes/s": round(report.graph.throughput(), 1),
             }
@@ -73,7 +97,8 @@ def test_explorer_fsync_full_state_space(benchmark, paper_algorithm_report,
 
 
 @pytest.mark.benchmark(group="E10-explorer")
-def test_explorer_ssync_full_state_space(benchmark, print_table, bench_timings):
+def test_explorer_ssync_full_state_space(benchmark, print_table, bench_timings,
+                                         write_bench_baseline):
     report, total_seconds = _timed_explore("ssync")
 
     # The adversarial census: every class present must come with a witness.
@@ -86,8 +111,11 @@ def test_explorer_ssync_full_state_space(benchmark, print_table, bench_timings):
 
     benchmark.pedantic(lambda: _timed_explore("ssync"), rounds=1, iterations=1)
 
+    table_cold, table_warm = _table_explores("ssync", report)
     _EXPLORER_TIMINGS.update(
         {
+            "table_ssync_build_seconds": round(table_cold.graph.elapsed_seconds, 4),
+            "table_ssync_build_warm_seconds": round(table_warm.graph.elapsed_seconds, 4),
             "ssync_nodes": report.graph.num_nodes,
             "ssync_edges": report.graph.num_edges,
             "ssync_build_seconds": round(report.graph.elapsed_seconds, 4),
@@ -118,13 +146,4 @@ def test_explorer_ssync_full_state_space(benchmark, print_table, bench_timings):
     # Persist the explorer baseline (both E10 benchmarks have passed if we
     # reach this line under ``pytest -x``; a lone SSYNC run still records a
     # useful partial baseline).
-    payload = {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "unix_time": round(time.time(), 1),
-        "timings": dict(sorted(_EXPLORER_TIMINGS.items())),
-    }
-    try:
-        _BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    except OSError:
-        pass
+    write_bench_baseline("explorer", _EXPLORER_TIMINGS)

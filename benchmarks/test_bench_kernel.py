@@ -62,6 +62,68 @@ def test_packed_kernel_speedup(benchmark, all_seven_robot_configurations,
 
 
 @pytest.mark.benchmark(group="E9-kernel")
+def test_table_kernel_byte_identity_and_speedup(benchmark, all_seven_robot_configurations,
+                                                print_table, bench_timings):
+    """E9 (table): the successor-table kernel vs the packed kernel, full scale.
+
+    The whole 3652-configuration FSYNC sweep runs once per kernel; the table
+    results must be byte-identical (outcomes, rounds, move totals, collision
+    kinds) and the ``table_*`` keys land in ``BENCH_kernel.json``, where the
+    bench-compare gate requires and tracks them.
+    """
+    configurations = all_seven_robot_configurations
+
+    packed_algorithm = ShibataGatheringAlgorithm()
+    start = time.perf_counter()
+    packed_batch = run_many(configurations, algorithm=packed_algorithm,
+                            max_rounds=600, kernel="packed")
+    packed_seconds = time.perf_counter() - start
+
+    table_algorithm = ShibataGatheringAlgorithm()
+    start = time.perf_counter()
+    table_batch = run_many(configurations, algorithm=table_algorithm,
+                           max_rounds=600, kernel="table")
+    table_cold_seconds = time.perf_counter() - start
+
+    # Byte identity over the full state space is the point of the exercise.
+    assert table_batch.results == packed_batch.results
+
+    # Warm pass: the successor table is memoized on the algorithm instance,
+    # so a repeated sweep is pure functional-graph lookup.
+    start = time.perf_counter()
+    warm_batch = run_many(configurations, algorithm=table_algorithm,
+                          max_rounds=600, kernel="table")
+    table_warm_seconds = time.perf_counter() - start
+    assert warm_batch.results == packed_batch.results
+
+    benchmark.pedantic(
+        lambda: run_many(configurations, algorithm=table_algorithm,
+                         max_rounds=600, kernel="table"),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = packed_seconds / table_cold_seconds if table_cold_seconds else float("inf")
+    bench_timings["table_sweep_seconds"] = round(table_cold_seconds, 4)
+    bench_timings["table_sweep_warm_seconds"] = round(table_warm_seconds, 4)
+    bench_timings["table_sweep_speedup"] = round(speedup, 2)
+    print_table(
+        "E9: successor-table kernel vs packed kernel (full 3652-configuration sweep)",
+        [
+            {
+                "packed seconds": round(packed_seconds, 3),
+                "table seconds (cold)": round(table_cold_seconds, 3),
+                "table seconds (warm)": round(table_warm_seconds, 3),
+                "speedup (cold)": f"{speedup:.1f}x",
+            }
+        ],
+    )
+    # Identity is the real check; the timing gate is loose on purpose so a
+    # noisy runner cannot fail a correct build (typical cold speedup is ~6x).
+    assert speedup > 1.0, "the table kernel must not be slower than packed"
+
+
+@pytest.mark.benchmark(group="E9-kernel")
 def test_decision_cache_hit_rate(benchmark, all_seven_robot_configurations,
                                  print_table, bench_timings):
     sample = all_seven_robot_configurations[::8]  # 457 configurations

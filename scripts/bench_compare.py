@@ -46,6 +46,24 @@ from repro.analysis.census_pins import census_ok, census_regressions  # noqa: E4
 #: The benchmark artefacts the gate knows about.
 DEFAULT_NAMES = ("kernel", "explorer", "synth")
 
+#: Keys every candidate artefact must record, whatever the baseline holds.
+#: The table-kernel timings are required so a change cannot silently stop
+#: benchmarking (and thus stop gating) the vectorized successor-table path.
+REQUIRED_TIMINGS = {
+    "kernel": (
+        "exhaustive_verification_seconds",
+        "table_sweep_seconds",
+        "table_sweep_warm_seconds",
+    ),
+    "explorer": (
+        "table_fsync_build_seconds",
+        "table_fsync_build_warm_seconds",
+        "table_ssync_build_seconds",
+        "table_ssync_build_warm_seconds",
+    ),
+    "synth": ("recovery_candidates_per_second",),
+}
+
 
 def _load(path: Path) -> Optional[Dict[str, Any]]:
     if not path.exists():
@@ -123,6 +141,7 @@ def compare_file(
     max_slowdown: float,
     min_seconds: float,
     ignore_timings: bool = False,
+    required: Sequence[str] = (),
 ) -> Tuple[List[str], List[str]]:
     """Compare one BENCH JSON pair; missing files are failures."""
     baseline = _load(baseline_path)
@@ -131,13 +150,19 @@ def compare_file(
         return [], [f"missing baseline {baseline_path}"]
     if candidate is None:
         return [], [f"missing candidate {candidate_path} (did the benchmarks run?)"]
-    return compare_timings(
+    candidate_timings = candidate.get("timings", {})
+    lines, failures = compare_timings(
         baseline.get("timings", {}),
-        candidate.get("timings", {}),
+        candidate_timings,
         max_slowdown,
         min_seconds,
         ignore_timings,
     )
+    for key in required:
+        if key not in candidate_timings:
+            lines.append(f"  {key}: REQUIRED key missing from candidate")
+            failures.append(f"{key}: required key missing from candidate")
+    return lines, failures
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -191,6 +216,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.max_slowdown,
             args.min_seconds,
             args.ignore_timings,
+            required=REQUIRED_TIMINGS.get(name, ()),
         )
         print(f"{filename}:")
         for line in lines:

@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--max-rounds", type=int, default=1000)
     p_verify.add_argument("--workers", type=int, default=1)
     p_verify.add_argument(
+        "--kernel",
+        default="packed",
+        choices=("packed", "reference", "table"),
+        help="simulation kernel: table = vectorized successor-table sweep "
+        "(byte-identical, fastest; requires numpy)",
+    )
+    p_verify.add_argument(
         "--decision-cache",
         default=None,
         metavar="DIR",
@@ -157,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep every N-th configuration of the enumeration (default 1 = all)",
     )
     p_sweep.add_argument("--workers", type=int, default=1)
+    p_sweep.add_argument(
+        "--kernel",
+        default="packed",
+        choices=("packed", "reference", "table"),
+        help="simulation kernel (table batches FSYNC cells through the "
+        "successor table)",
+    )
     p_sweep.add_argument("--json", action="store_true", help="emit the grid as JSON")
 
     p_explore = sub.add_parser(
@@ -186,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after expanding this many vertices (default: exhaustive)",
     )
     p_explore.add_argument("--workers", type=int, default=1)
+    p_explore.add_argument(
+        "--kernel",
+        default="packed",
+        choices=("packed", "table"),
+        help="vertex expansion kernel: table slices the vectorized successor "
+        "table instead of re-running Look-Compute per vertex",
+    )
     p_explore.add_argument(
         "--no-witnesses", action="store_true", help="skip counterexample extraction"
     )
@@ -269,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_synth.add_argument("--workers", type=int, default=1)
     p_synth.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "packed", "table"),
+        help="verification/replay kernel: table evaluates every candidate "
+        "on the vectorized successor table with delta-aware invalidation; "
+        "auto picks table when numpy is available (default)",
+    )
+    p_synth.add_argument(
         "--no-ssync-validate",
         action="store_true",
         help="skip the adversarial SSYNC validation pass",
@@ -333,6 +362,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         workers=args.workers,
         cache_dir=args.decision_cache,
+        kernel=args.kernel,
     )
     if args.json:
         print(dumps(report_to_dict(report)))
@@ -407,6 +437,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_rounds_grid=budgets,
         configurations=configurations,
         workers=args.workers,
+        kernel=args.kernel,
     )
     if args.json:
         print(dumps([cell.summary() for cell in cells]))
@@ -442,6 +473,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         workers=args.workers,
         with_witnesses=not args.no_witnesses,
         cache_dir=args.decision_cache,
+        kernel=args.kernel,
     )
     payload = None
     if args.json or args.output:
@@ -505,6 +537,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             amend_branch=args.amend_branch,
             amend_budget=args.amend_budget,
             seed_ruleset=seed,
+            kernel=args.kernel,
         )
     except (FileNotFoundError, CheckpointSchemaError) as exc:
         raise SystemExit(str(exc))

@@ -53,6 +53,7 @@ __all__ = [
     "apply_moves",
     "apply_moves_nodes",
     "decision_cache_for",
+    "default_kernel",
     "step",
     "step_nodes",
     "run_execution",
@@ -67,7 +68,19 @@ __all__ = [
 DEFAULT_MAX_ROUNDS = 1000
 
 #: The available simulation kernels.
-KERNELS = ("packed", "reference")
+KERNELS = ("packed", "reference", "table")
+
+
+def default_kernel() -> str:
+    """The fastest kernel available in this process.
+
+    ``"table"`` (the vectorized successor-table kernel,
+    :mod:`repro.core.table_kernel`) when NumPy is importable, ``"packed"``
+    otherwise — both are byte-identical for deterministic algorithms.
+    """
+    import importlib.util
+
+    return "table" if importlib.util.find_spec("numpy") else "packed"
 
 _NEIGHBOR_DELTAS: Tuple[Tuple[int, int], ...] = tuple(d.value for d in Direction)
 
@@ -364,6 +377,23 @@ def run_execution(
         return _run_execution_reference(
             initial, algorithm, scheduler, max_rounds, record_rounds, require_connectivity
         )
+    if kernel == "table":
+        # The table covers the paper's scope exactly: connected initial
+        # configurations of at most seven robots with connectivity enforced.
+        # Everything else falls back to the packed kernel (byte-identical).
+        # Scope is checked against the algorithm-independent (and globally
+        # memoized) view table first, so out-of-scope inputs never pay for a
+        # per-algorithm successor-table build.
+        from .table_kernel import MAX_TABLE_SIZE, successor_table, view_table
+
+        size = len(initial.nodes)
+        if require_connectivity and 1 <= size <= MAX_TABLE_SIZE:
+            row = view_table(size, algorithm.visibility_range).row_of_nodes(initial.nodes)
+            if row is not None:
+                table = successor_table(algorithm, size)
+                return _run_execution_table(
+                    initial, algorithm, scheduler, max_rounds, record_rounds, table, row
+                )
     return _run_execution_packed(
         initial, algorithm, scheduler, max_rounds, record_rounds, require_connectivity
     )
@@ -449,6 +479,133 @@ def _run_execution_packed(
                 termination_round = round_index + 1
                 break
             seen[key] = round_index + 1
+
+    return ExecutionTrace(
+        initial=initial,
+        final=Configuration(nodes),
+        outcome=outcome,
+        rounds=rounds,
+        termination_round=termination_round,
+        collision_kind=collision_kind,
+        cycle_start=cycle_start,
+        algorithm_name=algorithm.name,
+        scheduler_name=scheduler.name,
+        total_moves=total_moves,
+    )
+
+
+def _run_execution_table(
+    initial: Configuration,
+    algorithm: GatheringAlgorithm,
+    scheduler: Optional[Scheduler],
+    max_rounds: int,
+    record_rounds: bool,
+    table,
+    row: int,
+) -> ExecutionTrace:
+    """One execution driven entirely by the successor table.
+
+    The Look and Compute phases are table lookups (no views are built, no
+    ``algorithm.compute`` is called); under FSYNC even the Move phase is a
+    single ``succ`` pointer chase per round.  Absolute coordinates are
+    tracked alongside the canonical row so traces — including per-round
+    records and the final configuration — are byte-identical to the packed
+    kernel's.
+    """
+    from .table_kernel import (
+        _COLLISION_KINDS,
+        KIND_COLLISION,
+        KIND_DISCONNECT,
+    )
+
+    scheduler = scheduler or FullySynchronousScheduler()
+    scheduler.reset()
+    is_fsync = isinstance(scheduler, FullySynchronousScheduler)
+
+    view_table = table.view
+    directions = tuple(Direction)
+
+    nodes: FrozenSet[Coord] = initial.nodes
+    rounds: List[RoundRecord] = []
+    seen: Dict[int, int] = {row: 0}
+    outcome = Outcome.ROUND_LIMIT
+    collision_kind: Optional[str] = None
+    cycle_start: Optional[int] = None
+    termination_round = max_rounds
+    total_moves = 0
+
+    for round_index in range(max_rounds):
+        positions = sorted(nodes)
+        move_codes = table.move_code[row]
+        if is_fsync:
+            activated: Optional[Set[Coord]] = None
+            moves = {
+                positions[i]: directions[code - 1]
+                for i, code in enumerate(move_codes)
+                if code
+            }
+        else:
+            activated = scheduler.activated(round_index, positions)
+            moves = {
+                positions[i]: directions[code - 1]
+                for i, code in enumerate(move_codes)
+                if code and positions[i] in activated
+            }
+
+        if record_rounds:
+            rounds.append(
+                RoundRecord(
+                    index=round_index,
+                    configuration=Configuration(positions),
+                    moves=dict(moves),
+                    activated=tuple(positions) if activated is None else tuple(sorted(activated)),
+                )
+            )
+
+        if not moves:
+            if is_fsync or activated == set(positions):
+                outcome = (
+                    Outcome.GATHERED if view_table.gathered[row] else Outcome.DEADLOCK
+                )
+                termination_round = round_index
+                break
+            continue
+
+        if is_fsync:
+            kind = int(table.kind[row])
+            if kind == KIND_COLLISION:
+                outcome = Outcome.COLLISION
+                collision_kind = _COLLISION_KINDS[int(table.collision_code[row])]
+                termination_round = round_index
+                break
+            nodes = apply_moves_nodes(nodes, moves)
+            total_moves += len(moves)
+            if kind == KIND_DISCONNECT:
+                outcome = Outcome.DISCONNECTED
+                termination_round = round_index + 1
+                break
+            row = int(table.succ[row])
+            if row in seen:
+                outcome = Outcome.LIVELOCK
+                cycle_start = seen[row]
+                termination_round = round_index + 1
+                break
+            seen[row] = round_index + 1
+        else:
+            collision = detect_collision_nodes(nodes, moves)
+            if collision is not None:
+                outcome = Outcome.COLLISION
+                collision_kind = collision[0]
+                termination_round = round_index
+                break
+            nodes = apply_moves_nodes(nodes, moves)
+            total_moves += len(moves)
+            if not _is_connected_nodes(nodes):
+                outcome = Outcome.DISCONNECTED
+                termination_round = round_index + 1
+                break
+            row = view_table.row_of_nodes(nodes)
+            assert row is not None  # connected n-robot sets stay in the space
 
     return ExecutionTrace(
         initial=initial,

@@ -32,7 +32,7 @@ from ..grid.coords import Coord
 from .algorithm import GatheringAlgorithm
 from .configuration import Configuration
 from .engine import DEFAULT_MAX_ROUNDS, run_execution
-from .scheduler import Scheduler, scheduler_from_spec
+from .scheduler import FullySynchronousScheduler, Scheduler, scheduler_from_spec
 from .trace import Outcome
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "run_chunked_tasks",
     "run_many",
     "run_sweep",
+    "worker_algorithm",
     "DEFAULT_CHUNK_SIZE",
 ]
 
@@ -150,36 +151,122 @@ def run_chunked_tasks(
 
 _ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str, Optional[str]]
 
+#: Per-worker-process algorithm instances, keyed by registry name.  Reusing
+#: one instance across a worker's chunks is what the serial path does for the
+#: whole batch: the decision cache — and, for ``kernel="table"``, the
+#: successor table — is paid for once per process instead of once per chunk.
+_WORKER_ALGORITHMS: Dict[str, GatheringAlgorithm] = {}
+
+
+def worker_algorithm(algorithm_name: str) -> GatheringAlgorithm:
+    """The process-local shared instance of a registered algorithm."""
+    algorithm = _WORKER_ALGORITHMS.get(algorithm_name)
+    if algorithm is None:
+        from ..algorithms.registry import create_algorithm  # late: import cycle
+
+        algorithm = _WORKER_ALGORITHMS[algorithm_name] = create_algorithm(algorithm_name)
+    return algorithm
+
 
 def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
     """Worker entry point: execute one chunk of configurations.
 
     The payload carries only picklable primitives (names, specs and node
-    tuples); the algorithm and scheduler are rebuilt here, once per chunk.
-    With a ``cache_dir`` the worker adopts the shared on-disk decision cache
-    before executing and merges its new decisions back afterwards, so
-    parallel workers stop recomputing each other's Look–Compute table.
+    tuples); the algorithm is resolved through the per-process registry and
+    the scheduler rebuilt per chunk.  With a ``cache_dir`` the worker adopts
+    the shared on-disk decision cache before executing and merges its new
+    decisions back afterwards, so parallel workers stop recomputing each
+    other's Look–Compute table.
     """
     algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel, cache_dir = payload
-    from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
-
-    algorithm = create_algorithm(algorithm_name)
+    algorithm = worker_algorithm(algorithm_name)
     if cache_dir is not None:
         from .decision_cache import load_shared_cache  # late: avoids an import cycle
 
         load_shared_cache(algorithm, cache_dir)
     scheduler = scheduler_from_spec(scheduler_spec)
-    results = [
-        execute_configuration(
-            nodes, algorithm, scheduler=scheduler, max_rounds=max_rounds, kernel=kernel
-        )
-        for nodes in node_tuples
-    ]
+    if (
+        kernel == "table"
+        and isinstance(scheduler, FullySynchronousScheduler)
+        and getattr(algorithm, "deterministic", True)
+    ):
+        results = _table_batch_results(list(node_tuples), algorithm, max_rounds)
+    else:
+        results = [
+            execute_configuration(
+                nodes, algorithm, scheduler=scheduler, max_rounds=max_rounds, kernel=kernel
+            )
+            for nodes in node_tuples
+        ]
     if cache_dir is not None:
         from .decision_cache import persist_shared_cache
 
         persist_shared_cache(algorithm, cache_dir)
     return results
+
+
+def _table_batch_results(
+    items: List[ConfigurationLike],
+    algorithm: GatheringAlgorithm,
+    max_rounds: int,
+) -> List[ConfigurationResult]:
+    """FSYNC sweep of many configurations through the successor table.
+
+    One table build and one memoized functional-graph traversal answer every
+    configuration at once (:mod:`repro.core.table_kernel`); items outside the
+    table's scope (disconnected, or more than seven robots) fall back to a
+    per-item packed execution.  Results are byte-identical to
+    :func:`execute_configuration` in input order.
+    """
+    from .table_kernel import MAX_TABLE_SIZE, successor_table  # late: numpy gate
+
+    import numpy as np
+
+    node_lists: List[NodeTuple] = []
+    for item in items:
+        if isinstance(item, Configuration):
+            node_lists.append(tuple((c.q, c.r) for c in item.sorted_nodes()))
+        else:
+            node_lists.append(tuple(sorted((int(q), int(r)) for q, r in item)))
+
+    tables: Dict[int, object] = {}
+    rows_by_size: Dict[int, List[Tuple[int, int]]] = {}
+    results: List[Optional[ConfigurationResult]] = [None] * len(items)
+    for position, nodes in enumerate(node_lists):
+        size = len(nodes)
+        row = None
+        if 1 <= size <= MAX_TABLE_SIZE:
+            table = tables.get(size)
+            if table is None:
+                table = tables[size] = successor_table(algorithm, size)
+            # node_lists entries are already sorted, so the canonical form
+            # is one translation away (no second sort via row_of_nodes).
+            aq, ar = nodes[0]
+            row = table.view.tuple_index.get(
+                tuple((q - aq, r - ar) for q, r in nodes)
+            )
+        if row is None:
+            results[position] = execute_configuration(
+                items[position], algorithm, max_rounds=max_rounds, kernel="packed"
+            )
+        else:
+            rows_by_size.setdefault(size, []).append((position, row))
+
+    for size, pairs in rows_by_size.items():
+        table = tables[size]
+        rows = np.array([row for _, row in pairs], dtype=np.int32)
+        outcomes, rounds, moves, kinds = table.batch_outcomes(rows, max_rounds)
+        diameters = table.view.diameters[rows]
+        for i, (position, row) in enumerate(pairs):
+            results[position] = ConfigurationResult(
+                initial_nodes=node_lists[position],
+                outcome=outcomes[i],
+                rounds=int(rounds[i]),
+                total_moves=int(moves[i]),
+                initial_diameter=int(diameters[i]),
+                collision_kind=kinds[i],
+            )
+    return results  # type: ignore[return-value]
 
 
 def _node_tuples(configurations: Iterable[ConfigurationLike]) -> List[NodeTuple]:
@@ -229,6 +316,21 @@ def iter_result_chunks(
 
             load_shared_cache(algorithm, cache_dir)
         scheduler_obj = scheduler_from_spec(scheduler)
+        if (
+            kernel == "table"
+            and isinstance(scheduler_obj, FullySynchronousScheduler)
+            and getattr(algorithm, "deterministic", True)
+        ):
+            # The table fast path: one build + one functional-graph traversal
+            # answers the whole FSYNC batch (no per-execution simulation).
+            results = _table_batch_results(list(configurations), algorithm, max_rounds)
+            for start in range(0, len(results), chunk_size):
+                yield results[start : start + chunk_size]
+            if cache_dir is not None:
+                from .decision_cache import persist_shared_cache
+
+                persist_shared_cache(algorithm, cache_dir)
+            return
         chunk: List[ConfigurationResult] = []
         for item in configurations:
             chunk.append(
@@ -422,6 +524,7 @@ def run_sweep(
     size: int = 7,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    kernel: str = "packed",
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[SweepCell]:
     """Run the full algorithm × scheduler × round-budget grid.
@@ -456,6 +559,7 @@ def run_sweep(
             max_rounds=budget,
             workers=workers,
             chunk_size=chunk_size,
+            kernel=kernel,
         )
         successful_rounds = [r.rounds for r in batch.results if r.succeeded]
         cells.append(

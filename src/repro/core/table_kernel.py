@@ -1,0 +1,917 @@
+"""The vectorized successor-table simulation kernel (``kernel="table"``).
+
+The reachable world of the paper is tiny and *closed*: every connected
+configuration of ``n <= 7`` robots is (up to translation) one of the fixed
+polyhexes enumerated by :mod:`repro.enumeration.polyhex` — 3652 of them for
+seven robots — and a synchronous round maps a connected configuration either
+to another member of that same set or to a failure (collision /
+disconnection).  Instead of replaying Look–Compute–Move one robot-dict at a
+time, this kernel materializes the whole transition function once, as NumPy
+arrays:
+
+* **Look, batched** — all ``n x N`` view bitmasks are computed in one
+  vectorized pass: a small LUT over pairwise displacements (derived from
+  :func:`repro.grid.packing.offset_bit_table`) is gathered for every robot
+  pair of every configuration and OR-reduced per robot.
+* **Compute, gathered** — the distinct view bitmasks (about 5.2k for the
+  full seven-robot space) are resolved once through the algorithm's decision
+  cache; every robot's move is then a single array gather
+  ``codes[view_slot]``.
+* **Move, resolved** — the full-activation successor of every configuration
+  is computed vectorized: collision detection (swap / move-onto-staying /
+  same-target, in the engine's precedence order), simultaneous application,
+  connectivity via boolean matrix squaring, translation-canonicalization and
+  an index lookup.  The result is a *functional graph* ``succ[i]`` plus a
+  per-row kind (step / gathered / deadlock / collision / disconnect) and the
+  per-row mover bitmask that feeds the SSYNC explorer's activation-subset
+  enumeration.
+
+FSYNC execution then degenerates to pointer-chasing on ``succ`` with exact
+cycle/fixpoint detection, and an exhaustive sweep is one memoized traversal
+of the functional graph — O(N) total, not O(sum of path lengths).
+
+**Delta-aware invalidation** is what makes the kernel pay off inside the
+CEGIS loop (:mod:`repro.synth`): a candidate rule set touches a known set of
+exact views, so :meth:`SuccessorTable.derive` recomputes only the rows whose
+view multiset intersects the changed views and re-resolves those rows
+vectorized, sharing every untouched array with the parent table.
+
+The kernel is exact, not approximate: every query answered from the table is
+byte-identical to the packed kernel (``tests/test_table_kernel.py`` checks
+outcomes, traces and censuses over the full state space).  It requires NumPy
+and is restricted to the paper's scope (connected configurations,
+``size <= 7``, connectivity enforced); the engine falls back to the packed
+kernel outside it.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+try:
+    import numpy as np
+except ImportError as _exc:  # pragma: no cover - the image bakes numpy in
+    raise ImportError(
+        "kernel='table' requires numpy; use kernel='packed' instead"
+    ) from _exc
+
+from ..grid.coords import Coord
+from ..grid.directions import Direction
+from ..grid.packing import offset_bit_table, pack_nodes
+from .algorithm import GatheringAlgorithm
+from .configuration import Configuration
+from .engine import _is_connected_nodes
+from .trace import Outcome
+from .view import View
+
+__all__ = [
+    "MAX_TABLE_SIZE",
+    "ViewTable",
+    "SuccessorTable",
+    "TableFsyncVerdict",
+    "view_table",
+    "successor_table",
+]
+
+#: The paper's scope: the gathering predicate (and hence the table kernel)
+#: is defined for at most seven robots.
+MAX_TABLE_SIZE = 7
+
+#: Move codes: 0 = stay, ``i + 1`` = the i-th member of :class:`Direction`.
+_DIRECTIONS: Tuple[Direction, ...] = tuple(Direction)
+_CODE_OF: Dict[Direction, int] = {d: i + 1 for i, d in enumerate(_DIRECTIONS)}
+_DELTAS = np.array([(0, 0)] + [d.value for d in _DIRECTIONS], dtype=np.int16)
+
+#: Per-row kinds of the resolved successor function.
+KIND_STEP = 0
+KIND_GATHERED = 1
+KIND_DEADLOCK = 2
+KIND_COLLISION = 3
+KIND_DISCONNECT = 4
+
+#: Collision kind codes (match the strings of ``detect_collision_nodes``).
+_COLLISION_KINDS = (None, "swap", "move-onto-staying", "same-target")
+
+#: Outcome codes of the functional-graph summary, convertible to
+#: :class:`~repro.core.trace.Outcome`.
+OUT_GATHERED = 0
+OUT_DEADLOCK = 1
+OUT_LIVELOCK = 2
+OUT_COLLISION = 3
+OUT_DISCONNECTED = 4
+_OUTCOMES = (
+    Outcome.GATHERED,
+    Outcome.DEADLOCK,
+    Outcome.LIVELOCK,
+    Outcome.COLLISION,
+    Outcome.DISCONNECTED,
+)
+
+#: Minimum achievable diameter per robot count — the engine's gathering
+#: predicate for fewer than seven robots (one shared definition).
+_MIN_DIAMETER = Configuration._MIN_DIAMETER
+
+
+def _sort_key(coords: "np.ndarray") -> "np.ndarray":
+    """Monotone scalar key for lexicographic ``(q, r)`` ordering."""
+    return coords[..., 0].astype(np.int64) * 65536 + coords[..., 1]
+
+
+# ---------------------------------------------------------------------------
+# The algorithm-independent half: geometry, views and indexes.
+# ---------------------------------------------------------------------------
+
+class ViewTable:
+    """Everything about the ``size``-robot state space that no algorithm owns.
+
+    Built once per ``(size, visibility_range)`` and shared by every
+    :class:`SuccessorTable` (see :func:`view_table`): canonical positions,
+    batched view bitmasks, the unique-view index used by the Compute gather
+    and the delta-invalidation reverse index, the gathering predicate and
+    diameters, plus the canonical-form lookup dictionaries.
+    """
+
+    def __init__(self, size: int, visibility_range: int) -> None:
+        if not 1 <= size <= MAX_TABLE_SIZE:
+            raise ValueError(
+                f"the table kernel supports 1..{MAX_TABLE_SIZE} robots, got {size}"
+            )
+        from ..enumeration.polyhex import enumerate_canonical_node_sets  # late: cycle
+
+        self.size = size
+        self.visibility_range = visibility_range
+        shapes = enumerate_canonical_node_sets(size)
+        self.shapes: Tuple[Tuple[Coord, ...], ...] = tuple(shapes)
+        n = size
+        count = len(shapes)
+        self.count = count
+
+        positions = np.fromiter(
+            (c for shape in shapes for node in shape for c in node),
+            dtype=np.int16,
+            count=count * n * 2,
+        ).reshape(count, n, 2)
+        self.positions = positions
+        canonical8 = positions.astype(np.int8)
+
+        #: Canonical-form lookups: byte string of the int8 canonical
+        #: coordinate block, and plain tuple-of-pairs.  The packed-integer
+        #: forms are derived lazily (only graph slicing needs them).
+        self.byte_index: Dict[bytes, int] = {
+            canonical8[i].tobytes(): i for i in range(count)
+        }
+        self.tuple_index: Dict[Tuple[Tuple[int, int], ...], int] = {
+            tuple((int(q), int(r)) for q, r in shape): i
+            for i, shape in enumerate(shapes)
+        }
+        self._packed: Optional[List[int]] = None
+        self._packed_index: Optional[Dict[int, int]] = None
+
+        # Batched Look: pairwise displacements through a bit LUT.
+        dq = positions[:, None, :, 0] - positions[:, :, None, 0]
+        dr = positions[:, None, :, 1] - positions[:, :, None, 1]
+        bit_table = offset_bit_table(visibility_range)
+        span = int(max(np.abs(dq).max(initial=0), np.abs(dr).max(initial=0)))
+        span = max(span, visibility_range)
+        lut = np.zeros((2 * span + 1, 2 * span + 1), dtype=np.int32)
+        for (oq, orr), bit in bit_table.items():
+            if abs(oq) <= span and abs(orr) <= span:
+                lut[oq + span, orr + span] = bit
+        self.views = np.bitwise_or.reduce(lut[dq + span, dr + span], axis=2)
+
+        # Unique-view index: the Compute phase is one gather through it, and
+        # the reverse index drives delta-aware invalidation.
+        unique_views, inverse = np.unique(self.views, return_inverse=True)
+        self.unique_views = unique_views
+        self.view_slot = inverse.reshape(count, n).astype(np.int32)
+        flat = self.view_slot.ravel()
+        order = np.argsort(flat, kind="stable")
+        self._rows_by_slot = (order // n).astype(np.int32)
+        self._slot_bounds = np.searchsorted(flat[order], np.arange(len(unique_views) + 1))
+
+        # Geometry: pairwise hex distances give the gathering predicate and
+        # the diameters the batch runner reports.
+        hexdist = (np.abs(dq) + np.abs(dr) + np.abs(dq + dr)) // 2
+        self.diameters = hexdist.max(axis=(1, 2)).astype(np.int64)
+        if n == MAX_TABLE_SIZE:
+            self.gathered = ((hexdist == 1).sum(axis=2) == 6).any(axis=1)
+        else:
+            self.gathered = self.diameters == _MIN_DIAMETER[n]
+
+    # ------------------------------------------------------------------ lookup
+    @property
+    def packed(self) -> List[int]:
+        """Row index -> canonical packed integer (lazy: graph slicing only)."""
+        if self._packed is None:
+            self._packed = [pack_nodes(shape) for shape in self.shapes]
+        return self._packed
+
+    @property
+    def packed_index(self) -> Dict[int, int]:
+        """Canonical packed integer -> row index (lazy)."""
+        if self._packed_index is None:
+            self._packed_index = {p: i for i, p in enumerate(self.packed)}
+        return self._packed_index
+
+    def slot_of_view(self, bitmask: int) -> Optional[int]:
+        """Unique-view slot of ``bitmask`` (``None`` if it never occurs)."""
+        position = int(np.searchsorted(self.unique_views, bitmask))
+        if position < len(self.unique_views) and int(self.unique_views[position]) == bitmask:
+            return position
+        return None
+
+    def rows_of_slots(self, slots: "np.ndarray") -> "np.ndarray":
+        """All rows whose view multiset contains any of the given slots."""
+        if len(slots) == 0:
+            return np.empty(0, dtype=np.int32)
+        pieces = [
+            self._rows_by_slot[self._slot_bounds[s] : self._slot_bounds[s + 1]]
+            for s in slots
+        ]
+        return np.unique(np.concatenate(pieces))
+
+    def row_of_nodes(self, nodes: Iterable[Tuple[int, int]]) -> Optional[int]:
+        """Table row of an arbitrary translate of a canonical shape."""
+        pairs = sorted((int(n[0]), int(n[1])) for n in nodes)
+        if len(pairs) != self.size:
+            return None
+        aq, ar = pairs[0]
+        return self.tuple_index.get(tuple((q - aq, r - ar) for q, r in pairs))
+
+
+@lru_cache(maxsize=None)
+def view_table(size: int, visibility_range: int = 2) -> ViewTable:
+    """The shared, memoized :class:`ViewTable` for a state-space size."""
+    return ViewTable(size, visibility_range)
+
+
+# ---------------------------------------------------------------------------
+# The per-algorithm half: decisions and the successor function.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _FsyncSummary:
+    """Memoized functional-graph traversal: one resolution serves every root."""
+
+    #: Raw outcome code per row (round-limit capping is applied per query).
+    outcome: "np.ndarray"
+    #: Rounds until the outcome is detected (the engine's ``termination_round``).
+    rounds: "np.ndarray"
+    #: Total robot moves until detection.
+    moves: "np.ndarray"
+    #: The row at which the execution settles / fails (self for terminals,
+    #: the first revisited cycle row for livelocks).
+    final: "np.ndarray"
+
+
+class SuccessorTable:
+    """The materialized transition function of one algorithm.
+
+    Arrays (``N`` rows, ``n`` robots):
+
+    * ``codes`` — move code per *unique view* (the Compute table);
+    * ``move_code`` — move code per robot per row (``codes`` gathered);
+    * ``mover_bits`` / ``mover_count`` — bit ``i`` set iff the ``i``-th robot
+      of the row's canonical sorted position tuple intends to move;
+    * ``kind`` — what the full-activation round does to the row;
+    * ``succ`` — successor row for ``kind == KIND_STEP`` (-1 otherwise);
+    * ``collision_code`` — which forbidden behaviour a ``KIND_COLLISION``
+      row commits.
+    """
+
+    def __init__(
+        self,
+        view: ViewTable,
+        codes: "np.ndarray",
+        move_code: "np.ndarray",
+        mover_bits: "np.ndarray",
+        mover_count: "np.ndarray",
+        kind: "np.ndarray",
+        succ: "np.ndarray",
+        collision_code: "np.ndarray",
+    ) -> None:
+        self.view = view
+        self.codes = codes
+        self.move_code = move_code
+        self.mover_bits = mover_bits
+        self.mover_count = mover_count
+        self.kind = kind
+        self.succ = succ
+        self.collision_code = collision_code
+        self._summary: Optional[_FsyncSummary] = None
+        #: Memoized SSYNC expansions (row -> (edges, terminal)).  The dict is
+        #: *shared* along a derivation lineage: a derived table reuses every
+        #: expansion of a row its delta chain never touched, and rows in
+        #: ``_ssync_dirty`` (dirty relative to the lineage root) go to the
+        #: table-local overlay instead.
+        self._ssync_cache: Dict[int, Tuple[Tuple[Tuple[int, int], ...], Optional[str]]] = {}
+        self._ssync_dirty: set = set()
+        self._ssync_local: Dict[int, Tuple[Tuple[Tuple[int, int], ...], Optional[str]]] = {}
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(cls, algorithm: GatheringAlgorithm, size: int) -> "SuccessorTable":
+        """Materialize the table for ``algorithm`` over the ``size``-robot space."""
+        from .engine import decision_cache_for  # late: avoids an import cycle
+
+        if not getattr(algorithm, "deterministic", True):
+            raise ValueError("the table kernel requires a deterministic algorithm")
+        vt = view_table(size, algorithm.visibility_range)
+        cache = decision_cache_for(algorithm)
+        assert cache is not None
+        codes = np.zeros(len(vt.unique_views), dtype=np.int8)
+        visibility_range = algorithm.visibility_range
+        compute = algorithm.compute
+        for slot, bitmask in enumerate(vt.unique_views.tolist()):
+            try:
+                decision = cache[bitmask]
+            except KeyError:
+                decision = compute(View.from_bitmask(bitmask, visibility_range))
+                cache[bitmask] = decision
+            if decision is not None:
+                codes[slot] = _CODE_OF[decision]
+        return cls._from_codes(vt, codes)
+
+    @classmethod
+    def _from_codes(cls, vt: ViewTable, codes: "np.ndarray") -> "SuccessorTable":
+        move_code = codes[vt.view_slot]
+        table = cls(
+            view=vt,
+            codes=codes,
+            move_code=move_code,
+            mover_bits=np.zeros(vt.count, dtype=np.int16),
+            mover_count=np.zeros(vt.count, dtype=np.int16),
+            kind=np.zeros(vt.count, dtype=np.int8),
+            succ=np.full(vt.count, -1, dtype=np.int32),
+            collision_code=np.zeros(vt.count, dtype=np.int8),
+        )
+        table._resolve_rows(None)
+        return table
+
+    def derive(
+        self,
+        overrides: Mapping[int, Direction],
+        amendments: Mapping[int, Optional[Direction]],
+    ) -> "SuccessorTable":
+        """Delta-aware invalidation: the table of ``base + overlay`` layers.
+
+        ``overrides`` are additive assignments (consulted only where this
+        table's own code says *stay*); ``amendments`` replace the printed
+        decision unconditionally (``None`` forces a stay) — exactly the
+        layering of :class:`repro.synth.ruleset.OverrideAlgorithm`.  Only the
+        rows containing a changed view are re-resolved; every untouched array
+        is shared with the parent.
+        """
+        vt = self.view
+        codes = self.codes.copy()
+        for bitmask, direction in overrides.items():
+            slot = vt.slot_of_view(bitmask)
+            if slot is not None and self.codes[slot] == 0:
+                codes[slot] = _CODE_OF[direction]
+        for bitmask, direction in amendments.items():
+            slot = vt.slot_of_view(bitmask)
+            if slot is not None:
+                codes[slot] = 0 if direction is None else _CODE_OF[direction]
+        changed = np.nonzero(codes != self.codes)[0]
+        if len(changed) == 0:
+            return self
+        dirty = vt.rows_of_slots(changed)
+        move_code = self.move_code.copy()
+        move_code[dirty] = codes[vt.view_slot[dirty]]
+        table = SuccessorTable(
+            view=vt,
+            codes=codes,
+            move_code=move_code,
+            mover_bits=self.mover_bits.copy(),
+            mover_count=self.mover_count.copy(),
+            kind=self.kind.copy(),
+            succ=self.succ.copy(),
+            collision_code=self.collision_code.copy(),
+        )
+        table._resolve_rows(dirty)
+        # Share the lineage's SSYNC expansion cache; only the rows this
+        # delta chain touched must be re-expanded (into the local overlay).
+        table._ssync_cache = self._ssync_cache
+        table._ssync_dirty = self._ssync_dirty | set(int(r) for r in dirty)
+        return table
+
+    # -------------------------------------------------- vectorized resolution
+    def _resolve_rows(self, rows: Optional["np.ndarray"]) -> None:
+        """(Re)compute kind/succ/movers for ``rows`` (``None`` = every row)."""
+        vt = self.view
+        if rows is None:
+            rows = np.arange(vt.count, dtype=np.int32)
+        if len(rows) == 0:
+            return
+        pos = vt.positions[rows]  # (M, n, 2)
+        mc = self.move_code[rows]  # (M, n)
+        n = vt.size
+
+        movers = mc > 0
+        mover_count = movers.sum(axis=1).astype(np.int16)
+        weights = (1 << np.arange(n, dtype=np.int16))
+        self.mover_bits[rows] = (movers * weights).sum(axis=1).astype(np.int16)
+        self.mover_count[rows] = mover_count
+
+        kind = np.full(len(rows), KIND_STEP, dtype=np.int8)
+        succ = np.full(len(rows), -1, dtype=np.int32)
+        collision_code = np.zeros(len(rows), dtype=np.int8)
+
+        quiescent = mover_count == 0
+        kind[quiescent] = np.where(vt.gathered[rows[quiescent]], KIND_GATHERED, KIND_DEADLOCK)
+
+        targets = pos + _DELTAS[mc]  # (M, n, 2)
+
+        # Collision detection, in the engine's precedence order.  Node pairs
+        # compare as scalar lexicographic keys (half the comparisons).
+        pos_key = _sort_key(pos)  # (M, n)
+        target_key = _sort_key(targets)
+        hits = (target_key[:, :, None] == pos_key[:, None, :]) & movers[:, :, None]
+        swap = (hits & hits.transpose(0, 2, 1)).any(axis=(1, 2))
+        onto_staying = (hits & ~movers[:, None, :]).any(axis=(1, 2))
+        same = (target_key[:, :, None] == target_key[:, None, :])
+        same &= movers[:, :, None] & movers[:, None, :]
+        same &= ~np.eye(n, dtype=bool)[None, :, :]
+        same_target = same.any(axis=(1, 2))
+        collided = ~quiescent & (swap | onto_staying | same_target)
+        kind[collided] = KIND_COLLISION
+        collision_code[collided] = np.select(
+            [swap[collided], onto_staying[collided]], [1, 2], default=3
+        )
+
+        moving = ~quiescent & ~collided
+        if moving.any():
+            midx = np.nonzero(moving)[0]
+            new_pos = np.where(movers[midx, :, None], targets[midx], pos[midx])
+            # Connectivity: vectorized frontier expansion from robot 0.
+            ndq = new_pos[:, None, :, 0] - new_pos[:, :, None, 0]
+            ndr = new_pos[:, None, :, 1] - new_pos[:, :, None, 1]
+            adjacent = (
+                ((np.abs(ndq) + np.abs(ndr) + np.abs(ndq + ndr)) // 2) == 1
+            ).astype(np.uint8)
+            reach = np.zeros((len(midx), 1, n), dtype=np.uint8)
+            reach[:, 0, 0] = 1
+            for _ in range(n - 1):
+                reach = np.minimum(reach + np.matmul(reach, adjacent), 1)
+            connected = reach[:, 0, :].all(axis=1)
+            kind[midx[~connected]] = KIND_DISCONNECT
+
+            cidx = midx[connected]
+            if len(cidx) > 0:
+                cpos = np.where(movers[cidx, :, None], targets[cidx], pos[cidx])
+                key = _sort_key(cpos)
+                anchor = cpos[np.arange(len(cidx)), key.argmin(axis=1)]
+                deltas = cpos - anchor[:, None, :]
+                order = _sort_key(deltas).argsort(axis=1)
+                canonical = np.take_along_axis(
+                    deltas, order[:, :, None], axis=1
+                ).astype(np.int8)
+                byte_index = vt.byte_index
+                found = np.empty(len(cidx), dtype=np.int32)
+                for m in range(len(cidx)):
+                    nxt = byte_index.get(canonical[m].tobytes())
+                    if nxt is None:  # pragma: no cover - the space is closed
+                        raise RuntimeError(
+                            "successor configuration missing from the state space"
+                        )
+                    found[m] = nxt
+                succ[cidx] = found
+
+        self.kind[rows] = kind
+        self.succ[rows] = succ
+        self.collision_code[rows] = collision_code
+        self._summary = None
+
+    # --------------------------------------------------- functional traversal
+    def fsync_summary(self) -> _FsyncSummary:
+        """Outcome / rounds / moves / settling row of every row, memoized."""
+        return self._ensure_summary(range(self.view.count))
+
+    def _ensure_summary(self, starts: Iterable[int]) -> _FsyncSummary:
+        """Resolve the functional graph from the given starting rows.
+
+        Lazy and incremental: each row is resolved exactly once per table
+        (restricted root sets only pay for their reachable closure), cycles
+        are detected exactly (matching the engine's seen-set livelock
+        semantics) and shared suffixes are shared work.
+        """
+        if self._summary is None:
+            count = self.view.count
+            self._summary = _FsyncSummary(
+                outcome=np.full(count, -1, dtype=np.int8),
+                rounds=np.zeros(count, dtype=np.int32),
+                moves=np.zeros(count, dtype=np.int64),
+                final=np.arange(count, dtype=np.int32),
+            )
+        summary = self._summary
+        outcome = summary.outcome
+        rounds = summary.rounds
+        moves = summary.moves
+        final = summary.final
+        kind = self.kind
+        succ = self.succ
+        mover_count = self.mover_count
+
+        terminal_outcome = {
+            KIND_GATHERED: OUT_GATHERED,
+            KIND_DEADLOCK: OUT_DEADLOCK,
+            KIND_COLLISION: OUT_COLLISION,
+        }
+        for start in starts:
+            if outcome[start] >= 0:
+                continue
+            path: List[int] = []
+            path_pos: Dict[int, int] = {}
+            current = start
+            while True:
+                if outcome[current] >= 0:
+                    break
+                k = int(kind[current])
+                if k in terminal_outcome:
+                    outcome[current] = terminal_outcome[k]
+                    break
+                if k == KIND_DISCONNECT:
+                    outcome[current] = OUT_DISCONNECTED
+                    rounds[current] = 1
+                    moves[current] = int(mover_count[current])
+                    break
+                position = path_pos.get(current)
+                if position is not None:
+                    cycle = path[position:]
+                    length = len(cycle)
+                    cycle_moves = int(sum(int(mover_count[c]) for c in cycle))
+                    for member in cycle:
+                        outcome[member] = OUT_LIVELOCK
+                        rounds[member] = length
+                        moves[member] = cycle_moves
+                        final[member] = member
+                    path = path[:position]
+                    current = cycle[0]
+                    break
+                path_pos[current] = len(path)
+                path.append(current)
+                current = int(succ[current])
+            for node in reversed(path):
+                nxt = int(succ[node])
+                outcome[node] = outcome[nxt]
+                rounds[node] = rounds[nxt] + 1
+                moves[node] = moves[nxt] + int(mover_count[node])
+                final[node] = final[nxt]
+        return summary
+
+    def batch_outcomes(
+        self, rows: "np.ndarray", max_rounds: int
+    ) -> Tuple[List[Outcome], "np.ndarray", "np.ndarray", List[Optional[str]]]:
+        """FSYNC sweep results for many roots at once.
+
+        Returns ``(outcomes, rounds, total_moves, collision_kinds)``,
+        byte-identical to running the packed kernel from each root with the
+        given round budget: quiescence and collisions must be *detected*
+        within the budget (round index < ``max_rounds``), disconnections and
+        livelocks are detected one round after their last applied move
+        (round index + 1 <= ``max_rounds``); everything later is a
+        round-limit.
+        """
+        summary = self._ensure_summary(int(row) for row in rows)
+        raw = summary.outcome[rows]
+        cnt = summary.rounds[rows]
+        mvs = summary.moves[rows].copy()
+        fin = summary.final[rows]
+
+        detected_at = np.isin(raw, (OUT_GATHERED, OUT_DEADLOCK, OUT_COLLISION))
+        over = (detected_at & (cnt >= max_rounds)) | (~detected_at & (cnt > max_rounds))
+        outcomes: List[Outcome] = []
+        kinds: List[Optional[str]] = []
+        result_rounds = np.where(over, max_rounds, cnt)
+        for i, row in enumerate(rows):
+            if over[i]:
+                outcomes.append(Outcome.ROUND_LIMIT)
+                kinds.append(None)
+                mvs[i] = self._prefix_moves(int(row), max_rounds)
+            else:
+                outcomes.append(_OUTCOMES[raw[i]])
+                kinds.append(
+                    _COLLISION_KINDS[self.collision_code[fin[i]]]
+                    if raw[i] == OUT_COLLISION
+                    else None
+                )
+        return outcomes, result_rounds, mvs, kinds
+
+    def _prefix_moves(self, row: int, limit: int) -> int:
+        """Total moves over the first ``limit`` rounds from ``row`` (round-limit)."""
+        total = 0
+        current = row
+        for _ in range(limit):
+            total += int(self.mover_count[current])
+            current = int(self.succ[current])
+        return total
+
+    # ------------------------------------------------------------------ walks
+    def disconnected_packed(self, row: int) -> int:
+        """Packed form of the (disconnected) full-activation successor of ``row``."""
+        positions = self.view.shapes[row]
+        mc = self.move_code[row]
+        nodes = []
+        for i, (q, r) in enumerate(positions):
+            code = int(mc[i])
+            if code:
+                dq, dr = _DIRECTIONS[code - 1].value
+                nodes.append((q + dq, r + dr))
+            else:
+                nodes.append((q, r))
+        return pack_nodes(nodes)
+
+    def walk_outcome(self, row: int, max_rounds: int) -> Tuple[str, int, int]:
+        """Table twin of :func:`repro.synth.search.simulate_outcome`.
+
+        Returns ``(status, settled_packed, pre_failure_packed)`` with exactly
+        the engine's semantics — the statuses, the settled configuration and
+        the pre-failure vertex all match the targeted-replay walk.
+        """
+        packed = self.view.packed
+        current = row
+        seen = {row}
+        for _ in range(max_rounds):
+            k = int(self.kind[current])
+            if k == KIND_GATHERED:
+                return "gathered", packed[current], packed[current]
+            if k == KIND_DEADLOCK:
+                return "stuck", packed[current], packed[current]
+            if k == KIND_COLLISION:
+                return "collision", packed[current], packed[current]
+            if k == KIND_DISCONNECT:
+                return "disconnected", self.disconnected_packed(current), packed[current]
+            nxt = int(self.succ[current])
+            if nxt in seen:
+                return "livelock", packed[nxt], packed[current]
+            seen.add(nxt)
+            current = nxt
+        return "round-limit", packed[current], packed[current]
+
+    def reachable_rows(self, root_rows: Iterable[int]) -> "np.ndarray":
+        """Rows reachable from ``root_rows`` along full-activation edges."""
+        seen = set(int(r) for r in root_rows)
+        frontier = list(seen)
+        succ = self.succ
+        kind = self.kind
+        while frontier:
+            row = frontier.pop()
+            if kind[row] == KIND_STEP:
+                nxt = int(succ[row])
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return np.fromiter(sorted(seen), dtype=np.int32, count=len(seen))
+
+    # --------------------------------------------------------- graph slicing
+    def expand_row(
+        self, row: int, mode: str
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Optional[str]]:
+        """Table twin of :func:`repro.explore.transitions.expand_packed`.
+
+        Byte-identical edges and terminal kinds; under SSYNC the activation
+        subsets are enumerated in the same increasing-cardinality order over
+        the same position-sorted mover list, so the first-edge-per-successor
+        dedup picks the same representatives.
+        """
+        from ..explore.transitions import (  # late: avoids an import cycle
+            COLLISION_SINK,
+            DISCONNECT_SINK,
+            TERMINAL_DEADLOCK,
+            TERMINAL_GATHERED,
+        )
+
+        vt = self.view
+        if self.mover_count[row] == 0:
+            kind = TERMINAL_GATHERED if vt.gathered[row] else TERMINAL_DEADLOCK
+            return (), kind
+        bits = int(self.mover_bits[row])
+        if mode == "fsync":
+            k = int(self.kind[row])
+            if k == KIND_COLLISION:
+                destination = COLLISION_SINK
+            elif k == KIND_DISCONNECT:
+                destination = DISCONNECT_SINK
+            else:
+                destination = vt.packed[int(self.succ[row])]
+            return ((bits, destination),), None
+
+        # SSYNC: one edge per distinct activation effect over mover subsets.
+        cache = self._ssync_local if row in self._ssync_dirty else self._ssync_cache
+        cached = cache.get(row)
+        if cached is not None:
+            return cached
+        n = vt.size
+        positions = [(int(q), int(r)) for q, r in vt.shapes[row]]
+        mc = self.move_code[row]
+        target_of: Dict[int, Tuple[int, int]] = {}
+        for i in range(n):
+            code = int(mc[i])
+            if code:
+                dq, dr = _DIRECTIONS[code - 1].value
+                target_of[i] = (positions[i][0] + dq, positions[i][1] + dr)
+        movers = sorted(target_of)
+        index_of_pos = {pos: i for i, pos in enumerate(positions)}
+        targets_seen: Dict[int, int] = {}
+        for size in range(1, len(movers) + 1):
+            for subset in combinations(movers, size):
+                subset_set = set(subset)
+                subset_bits = 0
+                for i in subset:
+                    subset_bits |= 1 << i
+                collided = False
+                landed: Dict[Tuple[int, int], int] = {}
+                for i in subset:
+                    target = target_of[i]
+                    occupant = index_of_pos.get(target)
+                    if occupant is not None:
+                        if occupant in subset_set:
+                            if target_of[occupant] == positions[i]:
+                                collided = True  # swap along an edge
+                                break
+                        else:
+                            collided = True  # move onto a staying robot
+                            break
+                    if target in landed:
+                        collided = True  # several robots, one target
+                        break
+                    landed[target] = i
+                if collided:
+                    destination = COLLISION_SINK
+                else:
+                    nodes = frozenset(
+                        target_of[i] if i in subset_set else positions[i]
+                        for i in range(n)
+                    )
+                    if not _is_connected_nodes(nodes):
+                        destination = DISCONNECT_SINK
+                    else:
+                        aq, ar = min(nodes)
+                        nxt = vt.tuple_index[
+                            tuple(sorted((q - aq, r - ar) for q, r in nodes))
+                        ]
+                        destination = vt.packed[nxt]
+                if destination not in targets_seen:
+                    targets_seen[destination] = subset_bits
+        result = (
+            tuple((bits, destination) for destination, bits in targets_seen.items()),
+            None,
+        )
+        cache[row] = result
+        return result
+
+    # ------------------------------------------------------- cegis fast path
+    def fsync_verdict(self, root_rows: "np.ndarray") -> "TableFsyncVerdict":
+        """The FSYNC model-checking verdict over a root set, without a graph.
+
+        Like the explorer, the verdict is budget-free (exhaustive); use
+        :meth:`batch_outcomes` when round-limit capping matters.
+        """
+        return TableFsyncVerdict(self, np.asarray(root_rows, dtype=np.int32))
+
+
+#: Sentinel distinguishing "memoized as None" from "not yet settled".
+_UNSETTLED = object()
+
+
+class TableFsyncVerdict:
+    """A graph-free FSYNC exploration verdict, served straight from the table.
+
+    Exposes exactly what the CEGIS loop asks an FSYNC
+    :class:`~repro.explore.report.ExplorationReport` for — the root census,
+    the won-root set and the mass-ordered counterexample list — computed from
+    the functional-graph summary instead of a materialized transition graph,
+    and guaranteed to match the explorer's answers.
+    """
+
+    def __init__(self, table: SuccessorTable, root_rows: "np.ndarray") -> None:
+        self.table = table
+        self.root_rows = root_rows
+        summary = table._ensure_summary(int(row) for row in root_rows)
+        self._outcome = summary.outcome[root_rows]
+
+    @property
+    def root_census(self) -> Dict[str, int]:
+        """Class histogram over the roots, in the analyzer's reporting order."""
+        table = self.table
+        outcome = self._outcome
+        gathered = int(
+            ((outcome == OUT_GATHERED) & (table.kind[self.root_rows] == KIND_GATHERED)).sum()
+        )
+        safe = int((outcome == OUT_GATHERED).sum()) - gathered
+        counts = {
+            "gathered": gathered,
+            "safe": safe,
+            "deadlock": int((outcome == OUT_DEADLOCK).sum()),
+            "livelock": int((outcome == OUT_LIVELOCK).sum()),
+            "collision": int((outcome == OUT_COLLISION).sum()),
+            "disconnected": int((outcome == OUT_DISCONNECTED).sum()),
+        }
+        return {name: count for name, count in counts.items() if count}
+
+    def won_roots(self) -> FrozenSet[int]:
+        """Packed roots whose execution gathers (classified gathered or safe)."""
+        packed = self.table.view.packed
+        return frozenset(
+            packed[int(row)]
+            for row, outcome in zip(self.root_rows, self._outcome)
+            if outcome == OUT_GATHERED
+        )
+
+    def counterexamples_by_mass(self, include_failures: bool = False) -> List[int]:
+        """The explorer's counterexample ordering, straight from the table.
+
+        Replays the graph walker's ``settles_in`` memoization exactly: the
+        first root to walk into a livelock cycle stamps every node it visited
+        — cycle members included — with *its* entry point, so later roots
+        entering the same cycle elsewhere attribute to that first entry.
+        This keeps the counterexample ordering (and hence the CEGIS search
+        trajectory) byte-identical to the packed kernel's even for cycles
+        with several entry points.
+        """
+        table = self.table
+        packed = table.view.packed
+        kind = table.kind
+        succ = table.succ
+        settles: Dict[int, Optional[int]] = {}
+        mass: Dict[int, int] = {}
+        for root in self.root_rows:
+            row = self._settle(int(root), settles, kind, succ, include_failures)
+            if row is not None:
+                counterexample = packed[row]
+                mass[counterexample] = mass.get(counterexample, 0) + 1
+        for row in table.reachable_rows(self.root_rows):
+            if kind[row] == KIND_DEADLOCK:
+                mass.setdefault(packed[int(row)], 0)
+        return sorted(mass, key=lambda item: (-mass[item], item))
+
+    @staticmethod
+    def _settle(
+        row: int,
+        settles: Dict[int, Optional[int]],
+        kind: "np.ndarray",
+        succ: "np.ndarray",
+        include_failures: bool,
+    ) -> Optional[int]:
+        """One root's counterexample, memoized like the graph walker's."""
+        path: List[int] = []
+        on_path: set = set()
+        current = row
+        while True:
+            memoized = settles.get(current, _UNSETTLED)
+            if memoized is not _UNSETTLED:
+                result = memoized
+                break
+            k = int(kind[current])
+            if k == KIND_GATHERED:
+                result = None
+                break
+            if k == KIND_DEADLOCK:
+                result = current
+                break
+            path.append(current)
+            on_path.add(current)
+            if k in (KIND_COLLISION, KIND_DISCONNECT):
+                # The fatal move is computed here: the amending counterexample.
+                result = current if include_failures else None
+                break
+            current = int(succ[current])
+            if current in on_path:
+                result = current if include_failures else None  # cycle entry
+                break
+        for visited in path:
+            settles[visited] = result
+        return result
+
+
+# ---------------------------------------------------------------------------
+# The per-algorithm table registry.
+# ---------------------------------------------------------------------------
+
+def successor_table(algorithm: GatheringAlgorithm, size: int) -> SuccessorTable:
+    """The memoized successor table of ``algorithm`` over the ``size`` space.
+
+    Tables attach to the algorithm instance (like the decision cache), so an
+    exhaustive sweep, an exploration and a synthesis run sharing one
+    algorithm object pay for one build.  Compositions that expose the
+    ``table_kernel_layers`` protocol — ``(base, overrides, amendments)``, as
+    :class:`repro.synth.ruleset.OverrideAlgorithm` does — are **derived**
+    from their base algorithm's table via delta-aware invalidation instead of
+    being rebuilt, which is what makes per-candidate CEGIS evaluation cheap.
+    """
+    tables = getattr(algorithm, "_successor_tables", None)
+    if tables is None:
+        tables = {}
+        algorithm._successor_tables = tables  # type: ignore[attr-defined]
+    table = tables.get(size)
+    if table is None:
+        layers = getattr(algorithm, "table_kernel_layers", None)
+        if layers is not None:
+            base, overrides, amendments = layers
+            table = successor_table(base, size).derive(overrides, amendments)
+        else:
+            table = SuccessorTable.build(algorithm, size)
+        tables[size] = table
+    return table

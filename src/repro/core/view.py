@@ -12,6 +12,7 @@ views either by axial offset, by direction, or by the paper's Fig. 48 labels.
 """
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..grid.coords import Coord, as_coord, disk, distance
@@ -55,8 +56,15 @@ class View:
     # ------------------------------------------------------------ packed form
     @classmethod
     def from_bitmask(cls, bitmask: int, visibility_range: int) -> "View":
-        """Rebuild a view from its packed bitmask (see :mod:`repro.grid.packing`)."""
-        return cls(unpack_offsets(bitmask, visibility_range), visibility_range)
+        """Rebuild a view from its packed bitmask (see :mod:`repro.grid.packing`).
+
+        Views are immutable (frozen offsets/labels, ``__slots__``), so the
+        rebuild is memoized per ``(bitmask, range)``: there are only ~5.2k
+        distinct range-2 views over the whole seven-robot state space, and
+        every decision-cache miss and successor-table build asks for them
+        again.
+        """
+        return _view_from_bitmask(bitmask, visibility_range)
 
     def bitmask(self) -> int:
         """Packed bitmask of this view over the canonical visibility disk."""
@@ -151,6 +159,12 @@ class View:
             raise ValueError("cannot enlarge a view; re-observe the configuration")
         kept = [o for o in self._offsets if distance((0, 0), o) <= visibility_range]
         return View(kept, visibility_range)
+
+
+@lru_cache(maxsize=65536)
+def _view_from_bitmask(bitmask: int, visibility_range: int) -> View:
+    """The shared immutable :class:`View` instance of a packed bitmask."""
+    return View(unpack_offsets(bitmask, visibility_range), visibility_range)
 
 
 def view_of(configuration, position: Tuple[int, int], visibility_range: int) -> View:

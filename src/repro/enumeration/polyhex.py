@@ -30,6 +30,7 @@ translation-canonical form.  For ``n = 7`` this takes well under a second.
 """
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from ..core.configuration import Configuration
@@ -73,12 +74,14 @@ FREE_POLYHEX_COUNTS: Dict[int, int] = {
 }
 
 
-def enumerate_canonical_node_sets(size: int) -> List[Tuple[Coord, ...]]:
-    """All connected node sets of ``size`` nodes, canonical up to translation.
+@lru_cache(maxsize=None)
+def _canonical_node_sets(size: int) -> Tuple[Tuple[Coord, ...], ...]:
+    """The memoized enumeration: every caller in a process shares one pass.
 
-    The result is a sorted list of canonical keys (sorted coordinate tuples
-    whose lexicographically smallest node is the origin), suitable both for
-    building :class:`Configuration` objects and for hashing.
+    The fixtures, the explorer's default root set, the sweep grid and the
+    table kernel's state-space construction all re-enumerate the same sizes;
+    the shapes are immutable tuples, so one shared tuple-of-tuples serves
+    them all.
     """
     if size < 1:
         raise ValueError("size must be at least 1")
@@ -95,7 +98,19 @@ def enumerate_canonical_node_sets(size: int) -> List[Tuple[Coord, ...]]:
             for candidate in candidates:
                 grown.add(canonical_translation(shape_set | {candidate}))
         current = grown
-    return sorted(current)
+    return tuple(sorted(current))
+
+
+def enumerate_canonical_node_sets(size: int) -> List[Tuple[Coord, ...]]:
+    """All connected node sets of ``size`` nodes, canonical up to translation.
+
+    The result is a sorted list of canonical keys (sorted coordinate tuples
+    whose lexicographically smallest node is the origin), suitable both for
+    building :class:`Configuration` objects and for hashing.  The underlying
+    enumeration is memoized per size; the returned list is a fresh copy, so
+    callers may slice or mutate it freely.
+    """
+    return list(_canonical_node_sets(size))
 
 
 def enumerate_connected_configurations(size: int = 7) -> List[Configuration]:

@@ -82,12 +82,15 @@ def explore(
     require_connectivity: bool = True,
     with_witnesses: bool = True,
     cache_dir: Optional[str] = None,
+    kernel: str = "packed",
 ) -> ExplorationReport:
     """Explore, classify and witness in one call.
 
     ``roots`` defaults to the exhaustive enumeration of connected ``size``-robot
     configurations (3652 for seven robots).  Other parameters mirror
-    :func:`~repro.explore.transitions.build_transition_graph`.
+    :func:`~repro.explore.transitions.build_transition_graph`; in particular
+    ``kernel="table"`` builds the graph by slicing the vectorized successor
+    table instead of re-simulating every vertex.
     """
     if roots is None:
         from ..enumeration.polyhex import (  # late: avoids an import cycle
@@ -105,6 +108,7 @@ def explore(
         chunk_size=chunk_size,
         require_connectivity=require_connectivity,
         cache_dir=cache_dir,
+        kernel=kernel,
     )
     start = time.perf_counter()
     classification = classify(graph)

@@ -41,9 +41,9 @@ from ..core.engine import (
     detect_collision_nodes,
     move_intents,
 )
-from ..core.runner import ConfigurationLike, run_chunked_tasks
+from ..core.runner import ConfigurationLike, run_chunked_tasks, worker_algorithm
 from ..grid.coords import Coord
-from ..grid.packing import pack_nodes, unpack_nodes
+from ..grid.packing import pack_nodes, packed_count, unpack_nodes
 
 __all__ = [
     "COLLISION_SINK",
@@ -198,11 +198,37 @@ def expand_packed(
     return tuple((bits, destination) for destination, bits in targets.items()), None
 
 
+def _table_expander(algorithm, mode: str, require_connectivity: bool):
+    """An ``expand_packed`` twin that slices the successor table.
+
+    Vertices inside the table's scope are answered from the materialized
+    arrays (no views, no ``algorithm.compute``); anything else — oversized or
+    disconnected vertices — falls back to :func:`expand_packed`, so the
+    resulting graph is byte-identical either way.
+    """
+    from ..core.table_kernel import MAX_TABLE_SIZE, successor_table  # late: numpy gate
+
+    tables: Dict[int, object] = {}
+
+    def expand(packed: int) -> Tuple[Tuple[Edge, ...], Optional[str]]:
+        size = packed_count(packed)
+        if 1 <= size <= MAX_TABLE_SIZE and getattr(algorithm, "deterministic", True):
+            table = tables.get(size)
+            if table is None:
+                table = tables[size] = successor_table(algorithm, size)
+            row = table.view.packed_index.get(packed)
+            if row is not None:
+                return table.expand_row(row, mode)
+        return expand_packed(packed, algorithm, mode, require_connectivity)
+
+    return expand
+
+
 # ---------------------------------------------------------------------------
 # Graph construction (serial or parallel frontier expansion).
 # ---------------------------------------------------------------------------
 
-_ExpandPayload = Tuple[str, str, List[int], bool, Optional[str]]
+_ExpandPayload = Tuple[str, str, List[int], bool, Optional[str], str]
 
 
 def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], Optional[str]]]:
@@ -212,18 +238,20 @@ def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], 
     (:mod:`repro.core.decision_cache`), so frontier chunks expanded by
     different processes stop recomputing each other's Look–Compute table.
     """
-    algorithm_name, mode, packed_list, require_connectivity, cache_dir = payload
-    from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
-
-    algorithm = create_algorithm(algorithm_name)
+    algorithm_name, mode, packed_list, require_connectivity, cache_dir, kernel = payload
+    algorithm = worker_algorithm(algorithm_name)
     if cache_dir is not None:
         from ..core.decision_cache import load_shared_cache  # late: avoids an import cycle
 
         load_shared_cache(algorithm, cache_dir)
-    results = [
-        (packed, *expand_packed(packed, algorithm, mode, require_connectivity))
-        for packed in packed_list
-    ]
+    if kernel == "table" and require_connectivity:
+        expand = _table_expander(algorithm, mode, require_connectivity)
+        results = [(packed, *expand(packed)) for packed in packed_list]
+    else:
+        results = [
+            (packed, *expand_packed(packed, algorithm, mode, require_connectivity))
+            for packed in packed_list
+        ]
     if cache_dir is not None:
         from ..core.decision_cache import persist_shared_cache
 
@@ -253,6 +281,7 @@ def build_transition_graph(
     chunk_size: int = 256,
     require_connectivity: bool = True,
     cache_dir: Optional[str] = None,
+    kernel: str = "packed",
 ) -> TransitionGraph:
     """Explore the transition graph reachable from ``roots`` exhaustively.
 
@@ -266,9 +295,20 @@ def build_transition_graph(
     (and its decision cache) per chunk, so parallelism only pays off well
     beyond the seven-robot graph — the full 3652-vertex build is ~0.5s
     serial, which spawn startup alone can exceed.
+
+    ``kernel="table"`` expands vertices by slicing the materialized successor
+    table (:mod:`repro.core.table_kernel`) instead of re-running Look–Compute
+    per vertex — byte-identical graphs, roughly an order of magnitude faster
+    for FSYNC.  It requires ``require_connectivity=True`` (the table treats
+    disconnection as a sink) and falls back to the packed expansion for
+    vertices outside the table's scope.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
+    if kernel not in ("packed", "table"):
+        raise ValueError(f"unknown explorer kernel {kernel!r}; available: packed, table")
+    if kernel == "table" and not require_connectivity:
+        raise ValueError("kernel='table' requires require_connectivity=True")
     if (algorithm is None) == (algorithm_name is None):
         raise ValueError("provide exactly one of algorithm / algorithm_name")
     if workers > 1 and algorithm_name is None:
@@ -306,6 +346,11 @@ def build_transition_graph(
             processes=min(workers, os.cpu_count() or 1)
         )
 
+    expand = (
+        _table_expander(algorithm, mode, require_connectivity)
+        if kernel == "table"
+        else None
+    )
     try:
         while frontier and expanded < budget:
             take = int(min(len(frontier), budget - expanded))
@@ -318,11 +363,14 @@ def build_transition_graph(
                         batch[i : i + chunk_size],
                         require_connectivity,
                         None if cache_dir is None else str(cache_dir),
+                        kernel,
                     )
                     for i in range(0, len(batch), chunk_size)
                 ]
                 chunks = run_chunked_tasks(payloads, _expand_chunk, pool=pool)
                 results = [item for chunk in chunks for item in chunk]
+            elif expand is not None:
+                results = [(packed, *expand(packed)) for packed in batch]
             else:
                 results = [
                     (packed, *expand_packed(packed, algorithm, mode, require_connectivity))

@@ -22,6 +22,7 @@ allocating frozensets or tuples:
 """
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .coords import Coord, as_coord, disk
@@ -36,6 +37,7 @@ __all__ = [
     "all_view_bitmasks",
     "pack_nodes",
     "unpack_nodes",
+    "packed_count",
     "COORD_BITS",
 ]
 
@@ -51,40 +53,32 @@ _NODE_MASK = (1 << _NODE_BITS) - 1
 _COUNT_BITS = 6
 _COUNT_MASK = (1 << _COUNT_BITS) - 1
 
-_DISK_OFFSETS: Dict[int, Tuple[Coord, ...]] = {}
-_OFFSET_BIT: Dict[int, Dict[Tuple[int, int], int]] = {}
-
-
+@lru_cache(maxsize=None)
 def disk_offsets(visibility_range: int) -> Tuple[Coord, ...]:
     """Canonical enumeration of the visibility disk, excluding the origin.
 
     Offsets are listed ring by ring (distance 1 first), each ring in the
     deterministic walk order of :func:`repro.grid.coords.ring`.  Bit ``i`` of a
-    view bitmask refers to ``disk_offsets(range)[i]``.
+    view bitmask refers to ``disk_offsets(range)[i]``.  Memoized per range —
+    every engine, explorer and table-kernel invocation shares one table.
     """
     if visibility_range < 1:
         raise ValueError("visibility_range must be at least 1")
-    cached = _DISK_OFFSETS.get(visibility_range)
-    if cached is None:
-        cached = tuple(o for o in disk((0, 0), visibility_range) if o != (0, 0))
-        _DISK_OFFSETS[visibility_range] = cached
-    return cached
+    return tuple(o for o in disk((0, 0), visibility_range) if o != (0, 0))
 
 
+@lru_cache(maxsize=None)
 def offset_bit_table(visibility_range: int) -> Dict[Tuple[int, int], int]:
     """Mapping ``offset -> bit value`` (``1 << i``) for the visibility disk.
 
     The table stores bit *values* rather than indices so the hot loop can OR
-    them directly without a shift.
+    them directly without a shift.  Memoized per range; callers treat the
+    returned mapping as read-only.
     """
-    table = _OFFSET_BIT.get(visibility_range)
-    if table is None:
-        table = {
-            (off.q, off.r): 1 << index
-            for index, off in enumerate(disk_offsets(visibility_range))
-        }
-        _OFFSET_BIT[visibility_range] = table
-    return table
+    return {
+        (off.q, off.r): 1 << index
+        for index, off in enumerate(disk_offsets(visibility_range))
+    }
 
 
 def view_bit_count(visibility_range: int) -> int:
@@ -188,6 +182,11 @@ def pack_nodes(nodes: Iterable[Tuple[int, int]]) -> int:
             raise ValueError(f"node offset ({dq}, {dr}) exceeds the packing range")
         packed = (packed << _NODE_BITS) | (cq << COORD_BITS) | cr
     return (packed << _COUNT_BITS) | len(deltas)
+
+
+def packed_count(packed: int) -> int:
+    """Node count of a packed configuration (the layout's low count bits)."""
+    return packed & _COUNT_MASK
 
 
 def unpack_nodes(packed: int) -> Tuple[Coord, ...]:

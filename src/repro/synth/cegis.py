@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.algorithm import GatheringAlgorithm
+from ..core.configuration import Configuration
 from ..core.runner import ConfigurationLike
 from ..core.view import View
 from ..explore.report import ExplorationReport, explore
@@ -199,14 +200,30 @@ def _bad(census: Dict[str, int]) -> int:
     return census.get("collision", 0) + census.get("livelock", 0)
 
 
-def _won_roots(report: ExplorationReport) -> FrozenSet[int]:
-    """The roots the explored composition wins (classified gathered or safe)."""
+def _won_roots(report) -> FrozenSet[int]:
+    """The roots the explored composition wins (classified gathered or safe).
+
+    Accepts either a full :class:`~repro.explore.report.ExplorationReport`
+    or a graph-free :class:`~repro.core.table_kernel.TableFsyncVerdict` (the
+    table kernel's fast path); both answer identically.
+    """
+    method = getattr(report, "won_roots", None)
+    if method is not None:
+        return method()
     node_class = report.classification.node_class
     return frozenset(
         packed
         for packed in report.graph.roots
         if node_class[packed] in ("gathered", "safe")
     )
+
+
+def _report_counterexamples(report, include_failures: bool) -> List[int]:
+    """Mass-ordered counterexamples from a report or a table verdict."""
+    method = getattr(report, "counterexamples_by_mass", None)
+    if method is not None:
+        return method(include_failures)
+    return _counterexamples_by_mass(report.graph, include_failures)
 
 
 def split_decisions(
@@ -357,6 +374,7 @@ def synthesize(
     amend_branch: int = 10,
     amend_budget: Optional[int] = None,
     seed_ruleset: Optional[RuleSet] = None,
+    kernel: str = "auto",
 ) -> SynthesisResult:
     """Run the CEGIS loop and return the best-found repair.
 
@@ -383,6 +401,16 @@ def synthesize(
     committed override rules; ``seed_ruleset`` starts the search from an
     existing exact-view rule set (e.g. the committed additive repair)
     instead of from scratch (mutually exclusive with ``resume``).
+
+    ``kernel`` selects the verification/replay machinery: ``"table"`` runs
+    every FSYNC trial evaluation on the vectorized successor table with
+    delta-aware invalidation (a candidate chain touches a known set of exact
+    views, so only the affected table rows are recomputed and the verdict is
+    re-traversed from the dirtied configurations — no 3652-root
+    re-simulation), and the chain search's targeted replay becomes a pointer
+    walk on derived tables.  ``"auto"`` (the default) picks ``"table"`` when
+    NumPy is available and the root set fits the table's scope, else
+    ``"packed"``.  All kernels produce byte-identical searches.
     """
     if (base is None) == (base_name is None):
         raise ValueError("provide exactly one of base / base_name")
@@ -400,6 +428,60 @@ def synthesize(
         from ..core.decision_cache import load_shared_cache
 
         load_shared_cache(base, cache_dir)
+
+    if kernel == "auto":
+        from ..core.engine import default_kernel
+
+        kernel = default_kernel()
+    if kernel not in ("packed", "table"):
+        raise ValueError(f"unknown synthesis kernel {kernel!r}; available: packed, table")
+
+    # The table fast path: resolve the root set to successor-table rows once.
+    # Falls back to the packed machinery when the roots leave the table's
+    # scope (oversized, disconnected) — the search is identical either way.
+    base_table = None
+    root_rows = None
+    if kernel == "table":
+        try:
+            from ..core.table_kernel import MAX_TABLE_SIZE, successor_table
+        except ImportError:
+            kernel = "packed"
+        else:
+            import numpy as np
+
+            if roots is None:
+                if 1 <= size <= MAX_TABLE_SIZE:
+                    base_table = successor_table(base, size)
+                    root_rows = np.arange(base_table.view.count, dtype=np.int32)
+            else:
+                roots = list(roots)
+                rows: List[int] = []
+                seen_rows = set()
+                table0 = None
+                usable = bool(roots)
+                for item in roots:
+                    nodes = item.nodes if isinstance(item, Configuration) else tuple(item)
+                    n = len(tuple(nodes))
+                    if not 1 <= n <= MAX_TABLE_SIZE or (
+                        table0 is not None and n != table0.view.size
+                    ):
+                        usable = False
+                        break
+                    if table0 is None:
+                        table0 = successor_table(base, n)
+                    row = table0.view.row_of_nodes(nodes)
+                    if row is None:
+                        usable = False
+                        break
+                    if row not in seen_rows:  # explorer roots dedup likewise
+                        seen_rows.add(row)
+                        rows.append(row)
+                if usable and table0 is not None:
+                    base_table = table0
+                    root_rows = np.array(rows, dtype=np.int32)
+            if base_table is None:
+                kernel = "packed"
+    explore_kernel = "table" if base_table is not None else "packed"
 
     say = progress or (lambda message: None)
     start = time.perf_counter()
@@ -464,15 +546,21 @@ def synthesize(
             amended=amended,
         )
 
-    def explore_current(mode: str, with_witnesses: bool = False) -> ExplorationReport:
+    def explore_current(mode: str, with_witnesses: bool = False):
         nonlocal explores
         explores += 1
+        if mode == "fsync" and base_table is not None:
+            # Delta-aware trial evaluation: only the rows touching a changed
+            # exact view are re-resolved, and the verdict is read off the
+            # derived functional graph — no transition-graph materialization.
+            return base_table.derive(assigned, amended).fsync_verdict(root_rows)
         return explore(
             algorithm=OverrideAlgorithm(base, assigned, amendments=amended),
             roots=roots,
             size=size,
             mode=mode,
             with_witnesses=with_witnesses,
+            kernel=explore_kernel,
         )
 
     if resumed_base_census is not None:
@@ -480,9 +568,12 @@ def synthesize(
         base_census = resumed_base_census
         report = explore_current("fsync")
     else:
-        base_report = explore(
-            algorithm=base, roots=roots, size=size, mode="fsync", with_witnesses=False
-        )
+        if base_table is not None:
+            base_report = base_table.fsync_verdict(root_rows)
+        else:
+            base_report = explore(
+                algorithm=base, roots=roots, size=size, mode="fsync", with_witnesses=False
+            )
         explores += 1
         base_census = dict(base_report.root_census)
         report = base_report if not (assigned or amended) else explore_current("fsync")
@@ -583,7 +674,7 @@ def synthesize(
             iteration_explores_before = explores
             capacity = amend_capacity()
             amending = allow_amend and capacity != 0
-            terminals = _counterexamples_by_mass(report.graph, include_failures=amending)
+            terminals = _report_counterexamples(report, include_failures=amending)
             if not terminals:
                 break
             chains, expansions = propose_chain_list(
@@ -600,6 +691,7 @@ def synthesize(
                 allow_amend=amending,
                 amend_branch=amend_branch,
                 refuted=refuted_chains,
+                kernel=kernel,
             )
             candidates_evaluated += expansions
             if not chains:

@@ -96,6 +96,17 @@ class OverrideAlgorithm(GatheringAlgorithm):
             ]
         )
 
+    @property
+    def table_kernel_layers(self):
+        """The table kernel's derivation protocol: ``(base, overrides, amendments)``.
+
+        :func:`repro.core.table_kernel.successor_table` uses this to *derive*
+        the composition's successor table from the base algorithm's via
+        delta-aware invalidation (only rows touching a changed exact view are
+        re-resolved) instead of rebuilding it per trial composition.
+        """
+        return self.base, self.overrides, self.amendments
+
     def compute(self, view: View) -> Move:
         bitmask = view.bitmask()
         if self.amendments and bitmask in self.amendments:

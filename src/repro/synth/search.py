@@ -49,7 +49,7 @@ from ..core.runner import run_chunked_tasks
 from ..core.view import View
 from ..grid.coords import Coord
 from ..grid.directions import Direction
-from ..grid.packing import pack_nodes, unpack_nodes, view_bitmask
+from ..grid.packing import pack_nodes, packed_count, unpack_nodes, view_bitmask
 from .ruleset import OverrideAlgorithm
 
 __all__ = [
@@ -239,6 +239,18 @@ def simulate_to_quiescence(
     return status, settled
 
 
+def _base_table_for(base: GatheringAlgorithm, packed: int):
+    """The base algorithm's successor table for targeted replay, if usable."""
+    size = packed_count(packed)
+    try:
+        from ..core.table_kernel import MAX_TABLE_SIZE, successor_table
+    except ImportError:
+        return None
+    if not 1 <= size <= MAX_TABLE_SIZE or not getattr(base, "deterministic", True):
+        return None
+    return successor_table(base, size)
+
+
 def repair_chain(
     packed: int,
     base: GatheringAlgorithm,
@@ -251,6 +263,7 @@ def repair_chain(
     allow_amend: bool = False,
     amend_branch: int = 10,
     refuted: Optional[RefutedChains] = None,
+    kernel: str = "packed",
 ) -> Tuple[Optional[Amendment], int]:
     """Search a chain of new assignments that drives ``packed`` to gathered.
 
@@ -274,10 +287,17 @@ def repair_chain(
     exhausted.  Chain entries at views where the base algorithm moves (or
     forcing a stay anywhere) are amendments; the CEGIS loop splits them into
     layers with :func:`repro.synth.cegis.split_decisions`.
+
+    With ``kernel="table"`` the forward replay runs on the successor table
+    (:mod:`repro.core.table_kernel`): each trial composition is a delta-aware
+    derivation of the base algorithm's table, and the replay is a pointer
+    walk over the derived functional graph — byte-identical statuses and
+    vertices, no per-round Look–Compute.
     """
     committed_amend = amended or {}
     failed: Set[int] = set()
     expansions = 0
+    base_table = _base_table_for(base, packed) if kernel == "table" else None
 
     def dfs(
         current: int, extra: Amendment, depth: int, path: FrozenSet[int]
@@ -288,7 +308,12 @@ def repair_chain(
         algorithm = OverrideAlgorithm(
             base, assigned, amendments={**committed_amend, **extra}
         )
-        status, settled, pre_failure = simulate_outcome(current, algorithm)
+        row = None if base_table is None else base_table.view.packed_index.get(current)
+        if row is not None:
+            derived = base_table.derive(assigned, {**committed_amend, **extra})
+            status, settled, pre_failure = derived.walk_outcome(row, SIMULATE_MAX_ROUNDS)
+        else:
+            status, settled, pre_failure = simulate_outcome(current, algorithm)
         if status == "gathered":
             if refuted and extra and chain_signature(extra) in refuted:
                 return None  # the verifier rejected this exact chain: backtrack
@@ -352,7 +377,7 @@ _ChainPayload = Tuple[
     List[Tuple[int, str]],
     List[List[Tuple[int, str]]],
     List[int],
-    Tuple[int, int, int, bool, int],
+    Tuple[int, int, int, bool, int, str],
 ]
 
 
@@ -375,10 +400,10 @@ def _chain_chunk(payload: _ChainPayload) -> List[Tuple[Optional[Dict[int, str]],
         terminals,
         params,
     ) = payload
-    budget, max_depth, branch, allow_amend, amend_branch = params
-    from ..algorithms.registry import create_algorithm  # late: avoids an import cycle
+    budget, max_depth, branch, allow_amend, amend_branch, kernel = params
+    from ..core.runner import worker_algorithm  # late: avoids an import cycle
 
-    base = create_algorithm(base_name)
+    base = worker_algorithm(base_name)
     assigned = {bm: Direction[name] for bm, name in assigned_names.items()}
     amended = {bm: _decode_direction(name) for bm, name in amended_names.items()}
     blocked = set(blocked_list)
@@ -397,6 +422,7 @@ def _chain_chunk(payload: _ChainPayload) -> List[Tuple[Optional[Dict[int, str]],
             allow_amend=allow_amend,
             amend_branch=amend_branch,
             refuted=refuted,
+            kernel=kernel,
         )
         encoded = (
             None
@@ -422,6 +448,7 @@ def propose_chains(
     allow_amend: bool = False,
     amend_branch: int = 10,
     refuted: Optional[RefutedChains] = None,
+    kernel: str = "packed",
 ) -> Tuple[Amendment, int]:
     """Aggregate repair chains for many counterexamples into one proposal.
 
@@ -447,7 +474,7 @@ def propose_chains(
             blocked,
             refuted,
             chunk_size,
-            (budget, max_depth, branch, allow_amend, amend_branch),
+            (budget, max_depth, branch, allow_amend, amend_branch, kernel),
         )
         for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
             for encoded, expansions in chunk:
@@ -470,6 +497,7 @@ def propose_chains(
             allow_amend=allow_amend,
             amend_branch=amend_branch,
             refuted=refuted,
+            kernel=kernel,
         )
         total_expansions += expansions
         if chain:
@@ -486,7 +514,7 @@ def _chain_payloads(
     blocked: Optional[BlockedPairs],
     refuted: Optional[RefutedChains],
     chunk_size: int,
-    params: Tuple[int, int, int, bool, int],
+    params: Tuple[int, int, int, bool, int, str],
 ) -> List[_ChainPayload]:
     """Picklable spawn-pool payloads for one round of chain searches."""
     assigned_names = {bm: d.name for bm, d in assigned.items()}
@@ -522,6 +550,7 @@ def propose_chain_list(
     allow_amend: bool = False,
     amend_branch: int = 10,
     refuted: Optional[RefutedChains] = None,
+    kernel: str = "packed",
 ) -> Tuple[List[Tuple[int, Amendment]], int]:
     """Per-counterexample repair chains, unmerged.
 
@@ -545,7 +574,7 @@ def propose_chain_list(
             blocked,
             refuted,
             chunk_size,
-            (budget, max_depth, branch, allow_amend, amend_branch),
+            (budget, max_depth, branch, allow_amend, amend_branch, kernel),
         )
         position = 0
         for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
@@ -574,6 +603,7 @@ def propose_chain_list(
             allow_amend=allow_amend,
             amend_branch=amend_branch,
             refuted=refuted,
+            kernel=kernel,
         )
         total_expansions += expansions
         if chain:

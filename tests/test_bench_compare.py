@@ -27,8 +27,23 @@ def bench_compare():
     return module
 
 
-def _write(directory, name, timings):
-    payload = {"python": "3.x", "platform": "test", "unix_time": 0.0, "timings": timings}
+#: Neutral values for every key the gate requires candidates to record
+#: (identical on both sides, so they never trip the slowdown/census checks).
+_REQUIRED_DEFAULTS = {
+    "exhaustive_verification_seconds": 1.0,
+    "table_sweep_seconds": 1.0,
+    "table_sweep_warm_seconds": 1.0,
+    "table_fsync_build_seconds": 1.0,
+    "table_fsync_build_warm_seconds": 1.0,
+    "table_ssync_build_seconds": 1.0,
+    "table_ssync_build_warm_seconds": 1.0,
+    "recovery_candidates_per_second": 50.0,
+}
+
+
+def _write(directory, name, timings, required=True):
+    merged = {**_REQUIRED_DEFAULTS, **timings} if required else dict(timings)
+    payload = {"python": "3.x", "platform": "test", "timings": merged}
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload))
     return path
@@ -202,6 +217,26 @@ def test_multiple_names_aggregate(bench_compare, tmp_path):
         ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate)]
     )
     assert code == 1
+
+
+def test_required_table_keys_must_be_recorded(bench_compare, tmp_path):
+    """A candidate that stops recording the table-kernel timings fails the
+    gate even when the baseline never had them (the required-key check is
+    independent of the baseline's contents)."""
+    baseline, candidate = tmp_path / "a", tmp_path / "b"
+    baseline.mkdir(), candidate.mkdir()
+    _write(baseline, "kernel", {"x_seconds": 1.0}, required=False)
+    _write(candidate, "kernel", {"x_seconds": 1.0}, required=False)
+    code = bench_compare.main(
+        ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate), "--names", "kernel"]
+    )
+    assert code == 1
+    _write(candidate, "kernel", {"x_seconds": 1.0})  # required keys restored
+    _write(baseline, "kernel", {"x_seconds": 1.0})
+    code = bench_compare.main(
+        ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate), "--names", "kernel"]
+    )
+    assert code == 0
 
 
 def test_committed_baselines_compare_clean_against_themselves(bench_compare):
