@@ -14,7 +14,9 @@ import time
 import pytest
 
 from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.analysis.census_pins import N8_ROOTS, pinned_census
 from repro.analysis.model_checking import reconcile_with_sweep
+from repro.core.table_kernel import clear_table_caches
 from repro.explore import explore
 
 #: Timings collected by the explorer benchmarks; the SSYNC benchmark (the
@@ -145,5 +147,72 @@ def test_explorer_ssync_full_state_space(benchmark, print_table, bench_timings,
 
     # Persist the explorer baseline (both E10 benchmarks have passed if we
     # reach this line under ``pytest -x``; a lone SSYNC run still records a
-    # useful partial baseline).
+    # useful partial baseline — the n=8 scale-out benchmark below rewrites
+    # it with the full key set, which the bench-compare gate requires).
+    write_bench_baseline("explorer", _EXPLORER_TIMINGS)
+
+
+@pytest.mark.benchmark(group="E10-explorer")
+def test_explorer_n8_scale_out(benchmark, print_table, bench_timings,
+                               write_bench_baseline):
+    """E10 (scale-out): exhaustive n=8 censuses on the table kernel.
+
+    Both modes run over all 16689 eight-robot roots and must reproduce the
+    pinned scale-out censuses exactly (:data:`PINNED_CENSUS_N8`); the build
+    timings land in ``BENCH_explorer.json`` as the gate-required
+    ``n8_fsync_build_seconds`` / ``n8_ssync_build_seconds`` keys.
+    """
+    clear_table_caches()
+    algorithm = ShibataGatheringAlgorithm()
+    reports = {}
+    for mode in ("fsync", "ssync"):
+        start = time.perf_counter()
+        report = explore(algorithm=algorithm, size=8, mode=mode,
+                         kernel="table", with_witnesses=False)
+        total_seconds = time.perf_counter() - start
+        assert not report.graph.truncated
+        assert sum(report.root_census.values()) == N8_ROOTS
+        assert dict(report.root_census) == pinned_census(
+            "shibata-visibility2", mode, size=8
+        )
+        reports[mode] = (report, total_seconds)
+
+    # The warm re-exploration (table memoized on the algorithm instance) is
+    # the steady-state cost of a scale-out session.
+    benchmark.pedantic(
+        lambda: explore(algorithm=algorithm, size=8, mode="fsync",
+                        kernel="table", with_witnesses=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    _EXPLORER_TIMINGS.update(
+        {
+            "n8_fsync_build_seconds": round(reports["fsync"][0].graph.elapsed_seconds, 4),
+            "n8_fsync_total_seconds": round(reports["fsync"][1], 4),
+            "n8_fsync_edges": reports["fsync"][0].graph.num_edges,
+            "n8_fsync_root_census": dict(reports["fsync"][0].root_census),
+            "n8_ssync_build_seconds": round(reports["ssync"][0].graph.elapsed_seconds, 4),
+            "n8_ssync_total_seconds": round(reports["ssync"][1], 4),
+            "n8_ssync_edges": reports["ssync"][0].graph.num_edges,
+            "n8_ssync_root_census": dict(reports["ssync"][0].root_census),
+            "n8_nodes": reports["fsync"][0].graph.num_nodes,
+        }
+    )
+    bench_timings["explorer_n8_fsync_seconds"] = round(reports["fsync"][1], 4)
+    bench_timings["explorer_n8_ssync_seconds"] = round(reports["ssync"][1], 4)
+    print_table(
+        "E10: n=8 scale-out exploration (16689 roots, table kernel)",
+        [
+            {
+                "mode": mode,
+                "edges": report.graph.num_edges,
+                "build s": round(report.graph.elapsed_seconds, 3),
+                "census": ", ".join(
+                    f"{k}={v}" for k, v in sorted(report.root_census.items())
+                ),
+            }
+            for mode, (report, _) in reports.items()
+        ],
+    )
     write_bench_baseline("explorer", _EXPLORER_TIMINGS)

@@ -8,14 +8,19 @@ reports the decision-cache hit rate over the sample, which is the mechanism
 behind the speedup (a handful of distinct views decide tens of thousands of
 Look–Compute cycles).
 """
+import glob
+import os
 import time
 
 import pytest
 
 from repro.algorithms.cached import CachedAlgorithm
 from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.analysis.census_pins import N8_ROOTS, PINNED_CENSUS_N8, census_ok
 from repro.core.engine import run_execution
-from repro.core.runner import run_many
+from repro.core.runner import run_many, run_sweep
+from repro.core.table_kernel import clear_table_caches
+from repro.enumeration.polyhex import enumerate_connected_configurations
 
 
 def _sweep(configurations, kernel):
@@ -121,6 +126,100 @@ def test_table_kernel_byte_identity_and_speedup(benchmark, all_seven_robot_confi
     # Identity is the real check; the timing gate is loose on purpose so a
     # noisy runner cannot fail a correct build (typical cold speedup is ~6x).
     assert speedup > 1.0, "the table kernel must not be slower than packed"
+
+
+@pytest.mark.benchmark(group="E9-kernel")
+def test_n8_table_sweep_and_parallel_speedup(benchmark, print_table, bench_timings):
+    """E9 (scale-out): the successor-table engine past the paper's n=7.
+
+    Two measurements land in ``BENCH_kernel.json`` (both required by the
+    bench-compare gate):
+
+    * ``n8_table_sweep_seconds`` — the exhaustive FSYNC sweep of all 16689
+      eight-robot roots through one cold table build, cross-checked against
+      the pinned n=8 census (gathered-or-safe roots must reconcile exactly);
+    * ``parallel_sweep_seconds`` — a scheduled (non-FSYNC) grid cell at n=8
+      fanned out over shared-memory workers, asserted cell-identical to the
+      serial run.  The speedup is recorded honestly; it is only *asserted*
+      on multi-core hosts, since a single-CPU runner cannot exhibit one.
+    """
+    clear_table_caches()
+    configurations = enumerate_connected_configurations(8)
+    assert len(configurations) == N8_ROOTS
+
+    algorithm = ShibataGatheringAlgorithm()
+    start = time.perf_counter()
+    batch = run_many(configurations, algorithm=algorithm, max_rounds=600,
+                     kernel="table")
+    n8_seconds = time.perf_counter() - start
+
+    # The sweep must reconcile with the pinned exhaustive census: the roots
+    # the explorer counts gathered-or-safe are exactly the ones that gather.
+    assert batch.total == N8_ROOTS
+    assert batch.successes == census_ok(PINNED_CENSUS_N8[("shibata-visibility2", "fsync")])
+
+    benchmark.pedantic(
+        lambda: run_many(configurations, algorithm=algorithm, max_rounds=600,
+                         kernel="table"),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Parallel shared-memory sweep: a sampled scheduled cell (round-robin
+    # activation is real per-configuration work; a pure FSYNC sweep is one
+    # table lookup and leaves nothing to parallelize).  The parent builds the
+    # successor table once, publishes it to shared memory, and every worker
+    # answers from the same arrays.
+    sample = configurations[::8]
+    grid = dict(
+        scheduler_specs=["round-robin:2"],
+        max_rounds_grid=[600],
+        configurations=sample,
+        kernel="table",
+        chunk_size=128,
+    )
+    clear_table_caches()
+    start = time.perf_counter()
+    serial_cells = run_sweep(["shibata-visibility2"], workers=1, **grid)
+    serial_seconds = time.perf_counter() - start
+    clear_table_caches()
+    workers = max(2, min(4, os.cpu_count() or 1))
+    start = time.perf_counter()
+    parallel_cells = run_sweep(["shibata-visibility2"], workers=workers, **grid)
+    parallel_seconds = time.perf_counter() - start
+
+    # Identity of every cell aggregate (timing excluded) is the real check;
+    # the shared-memory segments must all be unlinked after pool teardown.
+    def _strip(cells):
+        return [{k: v for k, v in c.summary().items() if k != "seconds"} for c in cells]
+
+    assert _strip(parallel_cells) == _strip(serial_cells)
+    assert not glob.glob("/dev/shm/repro_tbl_*"), "leaked shared-memory segments"
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    bench_timings["n8_table_sweep_seconds"] = round(n8_seconds, 4)
+    bench_timings["n8_sweep_roots"] = batch.total
+    bench_timings["n8_sweep_gathered"] = batch.successes
+    bench_timings["parallel_sweep_seconds"] = round(parallel_seconds, 4)
+    bench_timings["parallel_sweep_serial_seconds"] = round(serial_seconds, 4)
+    bench_timings["parallel_sweep_speedup"] = round(speedup, 2)
+    bench_timings["parallel_sweep_workers"] = workers
+    print_table(
+        "E9: n=8 scale-out (16689-root table sweep; shared-memory parallel cell)",
+        [
+            {
+                "n8 sweep s": round(n8_seconds, 3),
+                "gathered": batch.successes,
+                "serial cell s": round(serial_seconds, 3),
+                f"parallel cell s (w={workers})": round(parallel_seconds, 3),
+                "speedup": f"{speedup:.2f}x",
+            }
+        ],
+    )
+    if (os.cpu_count() or 1) > 1:
+        assert speedup > 1.05, (
+            "shared-memory parallel sweep must beat serial on a multi-core host"
+        )
 
 
 @pytest.mark.benchmark(group="E9-kernel")

@@ -54,12 +54,16 @@ REQUIRED_TIMINGS = {
         "exhaustive_verification_seconds",
         "table_sweep_seconds",
         "table_sweep_warm_seconds",
+        "n8_table_sweep_seconds",
+        "parallel_sweep_seconds",
     ),
     "explorer": (
         "table_fsync_build_seconds",
         "table_fsync_build_warm_seconds",
         "table_ssync_build_seconds",
         "table_ssync_build_warm_seconds",
+        "n8_fsync_build_seconds",
+        "n8_ssync_build_seconds",
     ),
     "synth": ("recovery_candidates_per_second",),
 }

@@ -18,7 +18,9 @@ from typing import Dict, Mapping, Tuple
 
 __all__ = [
     "THEOREM2_ROOTS",
+    "N8_ROOTS",
     "PINNED_CENSUS",
+    "PINNED_CENSUS_N8",
     "pinned_census",
     "census_ok",
     "census_regressions",
@@ -26,6 +28,11 @@ __all__ = [
 
 #: The number of connected seven-robot initial configurations (Theorem 2).
 THEOREM2_ROOTS = 3652
+
+#: The number of connected eight-robot initial configurations (fixed
+#: polyhexes with eight cells, OEIS A001207) — the first scale-out level of
+#: the state-space engine beyond the paper's own world.
+N8_ROOTS = 16689
 
 #: ``(algorithm, mode) -> exhaustive root census`` for every committed rule
 #: set.  ``mode`` is ``"fsync"`` or ``"ssync"`` (adversarial activation).
@@ -67,9 +74,42 @@ PINNED_CENSUS: Dict[Tuple[str, str], Dict[str, int]] = {
 }
 
 
-def pinned_census(algorithm: str, mode: str) -> Dict[str, int]:
-    """The pinned census of a committed rule set (KeyError if not pinned)."""
-    return dict(PINNED_CENSUS[(algorithm, mode)])
+#: ``(algorithm, mode) -> exhaustive root census`` over all 16689 connected
+#: *eight*-robot roots.  The visibility-2 rules were designed for seven
+#: robots; at n=8 the gathering predicate is the minimum achievable diameter
+#: (3) and the printed rules no longer cover every view — collisions appear
+#: and a large share of roots deadlock.  The pins document the exact,
+#: exhaustively model-checked behaviour at scale (table kernel, FSYNC and
+#: adversarial SSYNC; ~2s each), not a correctness claim of the rule set.
+PINNED_CENSUS_N8: Dict[Tuple[str, str], Dict[str, int]] = {
+    ("shibata-visibility2", "fsync"): {
+        "gathered": 35,
+        "safe": 9232,
+        "deadlock": 5349,
+        "collision": 149,
+        "disconnected": 1924,
+    },
+    ("shibata-visibility2", "ssync"): {
+        "gathered": 35,
+        "safe": 6734,
+        "deadlock": 6639,
+        "collision": 992,
+        "disconnected": 2289,
+    },
+}
+
+
+def pinned_census(algorithm: str, mode: str, size: int = 7) -> Dict[str, int]:
+    """The pinned census of a committed rule set (KeyError if not pinned).
+
+    ``size`` selects the root space: 7 (the paper's world, every committed
+    rule set) or 8 (the scale-out pins, ``shibata-visibility2`` only).
+    """
+    if size == 7:
+        return dict(PINNED_CENSUS[(algorithm, mode)])
+    if size == 8:
+        return dict(PINNED_CENSUS_N8[(algorithm, mode)])
+    raise KeyError(f"no pinned censuses for size {size}")
 
 
 def census_ok(census: Mapping[str, int]) -> int:

@@ -112,19 +112,21 @@ class Configuration:
                 return node
         return None
 
-    #: Minimum achievable diameter for n robots on the triangular grid (n <= 7):
-    #: a single node, an edge, a triangle, and subsets of the filled hexagon.
-    _MIN_DIAMETER = {1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 2, 7: 2}
+    #: Minimum achievable diameter for n robots on the triangular grid:
+    #: a single node, an edge, a triangle, subsets of the filled hexagon, and
+    #: (for 8 and 9 robots) the hexagon plus adjacent cells.  The 8/9 values
+    #: are verified against the exhaustive enumeration in the tests.
+    _MIN_DIAMETER = {1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 2, 7: 2, 8: 3, 9: 3}
 
     def is_gathered(self) -> bool:
         """Whether the gathering condition of Definition 1 holds.
 
         For seven robots the condition is that one robot node has six adjacent
-        robot nodes, i.e. the robots form a filled hexagon.  For fewer robots
-        (used by the tests and by small-scale experiments) the condition is
-        that the maximum pairwise distance equals the minimum achievable for
-        that number of robots.  Sizes above seven are outside the paper's
-        scope and rejected.
+        robot nodes, i.e. the robots form a filled hexagon.  For other robot
+        counts with a known minimum diameter (used by the tests, small-scale
+        experiments and the n>7 scale-out) the condition is that the maximum
+        pairwise distance equals the minimum achievable for that number of
+        robots.  Sizes beyond the known table are rejected.
         """
         n = len(self._nodes)
         if n == 0:
@@ -134,8 +136,8 @@ class Configuration:
         if n in self._MIN_DIAMETER:
             return self.diameter() == self._MIN_DIAMETER[n]
         raise InvalidConfigurationError(
-            f"the gathering predicate is defined for at most {GATHERING_SIZE} robots, "
-            f"got {n}"
+            f"the gathering predicate is defined for at most {max(self._MIN_DIAMETER)} "
+            f"robots, got {n}"
         )
 
     # ------------------------------------------------------------- transforms

@@ -149,7 +149,7 @@ def run_chunked_tasks(
             yield result
 
 
-_ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str, Optional[str]]
+_ChunkPayload = Tuple[str, Optional[str], List[NodeTuple], int, str, Optional[str], Tuple]
 
 #: Per-worker-process algorithm instances, keyed by registry name.  Reusing
 #: one instance across a worker's chunks is what the serial path does for the
@@ -171,15 +171,23 @@ def worker_algorithm(algorithm_name: str) -> GatheringAlgorithm:
 def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
     """Worker entry point: execute one chunk of configurations.
 
-    The payload carries only picklable primitives (names, specs and node
-    tuples); the algorithm is resolved through the per-process registry and
-    the scheduler rebuilt per chunk.  With a ``cache_dir`` the worker adopts
-    the shared on-disk decision cache before executing and merges its new
-    decisions back afterwards, so parallel workers stop recomputing each
-    other's Look–Compute table.
+    The payload carries only picklable primitives (names, specs, node tuples
+    and shared-table handles); the algorithm is resolved through the
+    per-process registry and the scheduler rebuilt per chunk.  With a
+    ``cache_dir`` the worker adopts the shared on-disk decision cache before
+    executing and merges its new decisions back afterwards, so parallel
+    workers stop recomputing each other's Look–Compute table.  Shared-table
+    handles (``kernel="table"``) are attached once per process: every chunk
+    then answers from the parent's successor table instead of re-simulating
+    or rebuilding per worker.
     """
-    algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel, cache_dir = payload
+    algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel, cache_dir, handles = payload
     algorithm = worker_algorithm(algorithm_name)
+    if handles:
+        from .shared_tables import attach_table  # late: avoids an import cycle
+
+        for handle in handles:
+            attach_table(handle)
     if cache_dir is not None:
         from .decision_cache import load_shared_cache  # late: avoids an import cycle
 
@@ -214,11 +222,11 @@ def _table_batch_results(
 
     One table build and one memoized functional-graph traversal answer every
     configuration at once (:mod:`repro.core.table_kernel`); items outside the
-    table's scope (disconnected, or more than seven robots) fall back to a
-    per-item packed execution.  Results are byte-identical to
+    table's scope (disconnected, or beyond the memory-estimated size bound)
+    fall back to a per-item packed execution.  Results are byte-identical to
     :func:`execute_configuration` in input order.
     """
-    from .table_kernel import MAX_TABLE_SIZE, successor_table  # late: numpy gate
+    from .table_kernel import successor_table, table_in_scope  # late: numpy gate
 
     import numpy as np
 
@@ -235,7 +243,7 @@ def _table_batch_results(
     for position, nodes in enumerate(node_lists):
         size = len(nodes)
         row = None
-        if 1 <= size <= MAX_TABLE_SIZE:
+        if table_in_scope(size):
             table = tables.get(size)
             if table is None:
                 table = tables[size] = successor_table(algorithm, size)
@@ -361,18 +369,63 @@ def iter_result_chunks(
         )
 
     node_tuples = _node_tuples(configurations)
-    payloads: List[_ChunkPayload] = [
-        (
-            algorithm_name,
-            scheduler,
-            node_tuples[i : i + chunk_size],
-            max_rounds,
-            kernel,
-            None if cache_dir is None else str(cache_dir),
-        )
-        for i in range(0, len(node_tuples), chunk_size)
-    ]
-    yield from run_chunked_tasks(payloads, _execute_chunk, workers=workers)
+    pool = None
+    published: List = []
+    try:
+        handles: Tuple = ()
+        if kernel == "table" and node_tuples:
+            # Build the successor tables once in the parent (the Compute fan-out
+            # itself runs on the pool) and publish the arrays through
+            # multiprocessing.shared_memory: every worker attaches to the one
+            # table instead of rebuilding — the build is paid once per batch,
+            # not once per process.
+            from .shared_tables import publish_table  # late: numpy gate
+            from .table_kernel import successor_table, table_in_scope
+
+            builder = worker_algorithm(algorithm_name)
+            if getattr(builder, "deterministic", True):
+                sizes = sorted(
+                    {len(nodes) for nodes in node_tuples if table_in_scope(len(nodes))}
+                )
+                if sizes:
+                    pool = multiprocessing.get_context("spawn").Pool(
+                        processes=min(workers, os.cpu_count() or 1)
+                    )
+                    for table_size in sizes:
+                        table = successor_table(
+                            builder,
+                            table_size,
+                            workers=workers,
+                            pool=pool,
+                            algorithm_name=algorithm_name,
+                        )
+                        published.append(publish_table(table, algorithm_name))
+                    handles = tuple(published)
+        payloads: List[_ChunkPayload] = [
+            (
+                algorithm_name,
+                scheduler,
+                node_tuples[i : i + chunk_size],
+                max_rounds,
+                kernel,
+                None if cache_dir is None else str(cache_dir),
+                handles,
+            )
+            for i in range(0, len(node_tuples), chunk_size)
+        ]
+        yield from run_chunked_tasks(payloads, _execute_chunk, workers=workers, pool=pool)
+    finally:
+        # Deterministic cleanup even when the consumer abandons the iterator:
+        # the pool dies first (no worker still holds an attachment), then the
+        # published segments are unlinked.
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        if published:
+            from .shared_tables import unpublish_table
+
+            for handle in published:
+                unpublish_table(handle)
 
 
 # ---------------------------------------------------------------------------

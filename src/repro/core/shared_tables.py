@@ -1,0 +1,250 @@
+"""Successor tables in ``multiprocessing.shared_memory`` segments.
+
+The table kernel (:mod:`repro.core.table_kernel`) answers everything about a
+state space from a handful of flat NumPy arrays.  Those arrays are exactly
+what :mod:`multiprocessing.shared_memory` shares for free: the parent builds
+the table once, :func:`publish_table` copies its arrays into one named
+segment, and every worker process :func:`attach_table`-s read-only views over
+the same physical pages — no per-worker rebuild, no per-chunk pickling of
+megabyte arrays, no re-simulation.
+
+Segments are named ``repro_tbl_<hex>`` so tests can assert none leak
+(``/dev/shm/repro_tbl_*`` on Linux).  The publishing process owns the
+segment: it must call :func:`unpublish_table` (the batch runner and the
+explorer do so in ``finally`` blocks) to unlink it.  Workers only ever map
+and close; their attachments are process-local, memoized and deregistered
+from the spawn ``resource_tracker`` so a worker exiting does not tear the
+segment down under its siblings.
+"""
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .table_kernel import SuccessorTable, ViewTable, register_view_table
+
+__all__ = [
+    "SharedTableHandle",
+    "publish_table",
+    "attach_table",
+    "unpublish_table",
+    "detach_all",
+    "attached_segments",
+    "published_segments",
+]
+
+#: Field layout of one shared table: the :class:`ViewTable` arrays first,
+#: then the :class:`SuccessorTable` arrays.  Order is the serialization
+#: order; names match the attribute names on the two classes.
+_VIEW_FIELDS = (
+    "positions",
+    "views",
+    "unique_views",
+    "view_slot",
+    "_rows_by_slot",
+    "_slot_bounds",
+    "diameters",
+    "gathered",
+)
+_SUCC_FIELDS = (
+    "codes",
+    "move_code",
+    "mover_bits",
+    "mover_count",
+    "kind",
+    "succ",
+    "collision_code",
+)
+
+#: One array's placement inside the segment: (field, shape, dtype str, offset).
+_ArraySpec = Tuple[str, Tuple[int, ...], str, int]
+
+
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """Picklable description of one published successor table.
+
+    Everything a worker needs to rebuild the table around the shared pages:
+    the segment name, the identity of the table (algorithm registry name,
+    state-space size, visibility range) and the placement of every array.
+    """
+
+    name: str
+    algorithm_name: str
+    size: int
+    visibility_range: int
+    specs: Tuple[_ArraySpec, ...]
+    total_bytes: int
+
+
+#: Segments this process published (name -> segment), for unlink-on-cleanup.
+_PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Tables this process attached (segment name -> (segment, table)).  Memoized
+#: so a worker maps each segment once however many chunks it executes.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, SuccessorTable]] = {}
+
+_TRACKER_SILENCED = False
+
+
+def _silence_tracker_for_attachments() -> None:
+    """Keep the spawn resource tracker away from ``repro_tbl_*`` attachments.
+
+    The tracker auto-registers every ``SharedMemory`` a process opens and
+    *unlinks* it when that process exits — which would tear a published table
+    down under the owner and every sibling worker the moment one worker
+    retires.  Only the publisher may unlink, so attaching processes patch the
+    tracker's ``register`` to ignore our segment prefix (the portable
+    equivalent of Python 3.13's ``track=False``).
+    """
+    global _TRACKER_SILENCED
+    if _TRACKER_SILENCED:
+        return
+    _TRACKER_SILENCED = True
+    try:  # pragma: no cover - tracker internals differ across versions
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def register(name: str, rtype: str) -> None:
+            if rtype == "shared_memory" and name.lstrip("/").startswith("repro_tbl_"):
+                return
+            original(name, rtype)
+
+        resource_tracker.register = register  # type: ignore[assignment]
+    except Exception:
+        pass
+
+
+def _table_arrays(table: SuccessorTable) -> Tuple[Tuple[str, "np.ndarray"], ...]:
+    vt = table.view
+    pairs = [(field, np.ascontiguousarray(getattr(vt, field))) for field in _VIEW_FIELDS]
+    pairs += [(field, np.ascontiguousarray(getattr(table, field))) for field in _SUCC_FIELDS]
+    return tuple(pairs)
+
+
+def publish_table(table: SuccessorTable, algorithm_name: str) -> SharedTableHandle:
+    """Copy a table's arrays into a fresh shared-memory segment.
+
+    Returns the picklable handle workers pass to :func:`attach_table`.  The
+    caller owns the segment and must :func:`unpublish_table` it when the
+    worker pool is gone.
+    """
+    arrays = _table_arrays(table)
+    specs = []
+    offset = 0
+    for field, array in arrays:
+        specs.append((field, tuple(array.shape), array.dtype.str, offset))
+        offset += array.nbytes
+    name = f"repro_tbl_{uuid.uuid4().hex[:12]}"
+    segment = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
+    for (field, shape, dtype, start), (_, array) in zip(specs, arrays):
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
+        view[...] = array
+    _PUBLISHED[name] = segment
+    return SharedTableHandle(
+        name=name,
+        algorithm_name=algorithm_name,
+        size=table.view.size,
+        visibility_range=table.view.visibility_range,
+        specs=tuple(specs),
+        total_bytes=offset,
+    )
+
+
+def attach_table(handle: SharedTableHandle, register: bool = True) -> SuccessorTable:
+    """Rebuild a :class:`SuccessorTable` around the shared pages of ``handle``.
+
+    The arrays are zero-copy read-only views over the segment; the Python-side
+    lookup dictionaries rebuild lazily on first use (most workers never need
+    them).  With ``register`` (the default) the attached table is installed as
+    the process-wide view table *and* as the worker algorithm instance's
+    memoized successor table, so :func:`~repro.core.table_kernel.successor_table`
+    and the engine's table dispatch answer from the attachment.
+
+    Memoized per segment: a worker pays the mapping once per process.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    _silence_tracker_for_attachments()
+    segment = shared_memory.SharedMemory(name=handle.name)
+
+    fields: Dict[str, "np.ndarray"] = {}
+    for field, shape, dtype, start in handle.specs:
+        array = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
+        array.flags.writeable = False
+        fields[field] = array
+
+    vt = ViewTable._from_arrays(
+        handle.size,
+        handle.visibility_range,
+        positions=fields["positions"],
+        views=fields["views"],
+        unique_views=fields["unique_views"],
+        view_slot=fields["view_slot"],
+        rows_by_slot=fields["_rows_by_slot"],
+        slot_bounds=fields["_slot_bounds"],
+        diameters=fields["diameters"],
+        gathered=fields["gathered"],
+    )
+    if register:
+        vt = register_view_table(vt)
+    table = SuccessorTable(
+        view=vt,
+        codes=fields["codes"],
+        move_code=fields["move_code"],
+        mover_bits=fields["mover_bits"],
+        mover_count=fields["mover_count"],
+        kind=fields["kind"],
+        succ=fields["succ"],
+        collision_code=fields["collision_code"],
+    )
+    _ATTACHED[handle.name] = (segment, table)
+    if register:
+        from .runner import worker_algorithm  # late: avoids an import cycle
+
+        algorithm = worker_algorithm(handle.algorithm_name)
+        tables = getattr(algorithm, "_successor_tables", None)
+        if tables is None:
+            tables = {}
+            algorithm._successor_tables = tables  # type: ignore[attr-defined]
+        tables.setdefault(handle.size, table)
+    return table
+
+
+def unpublish_table(handle: SharedTableHandle) -> None:
+    """Unlink a segment this process published (idempotent)."""
+    segment = _PUBLISHED.pop(handle.name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    finally:
+        segment.unlink()
+
+
+def detach_all() -> None:
+    """Drop every attachment this process holds (tests / explicit teardown).
+
+    Attached tables may be registered on algorithm instances; callers that
+    detach should also :func:`~repro.core.table_kernel.clear_table_caches`
+    those instances before touching the tables again.
+    """
+    while _ATTACHED:
+        _, (segment, _) = _ATTACHED.popitem()
+        segment.close()
+
+
+def attached_segments() -> Tuple[str, ...]:
+    """Names of the segments this process is currently attached to."""
+    return tuple(sorted(_ATTACHED))
+
+
+def published_segments() -> Tuple[str, ...]:
+    """Names of the segments this process currently owns."""
+    return tuple(sorted(_PUBLISHED))

@@ -39,15 +39,19 @@ vectorized, sharing every untouched array with the parent table.
 The kernel is exact, not approximate: every query answered from the table is
 byte-identical to the packed kernel (``tests/test_table_kernel.py`` checks
 outcomes, traces and censuses over the full state space).  It requires NumPy
-and is restricted to the paper's scope (connected configurations,
-``size <= 7``, connectivity enforced); the engine falls back to the packed
-kernel outside it.
+and is restricted to connected configurations with connectivity enforced and
+a size within :func:`max_table_size` — a **soft, memory-estimated bound**
+(n=9 with the default budget; ``REPRO_TABLE_MEMORY_BUDGET`` adjusts it).
+Tables are built in chunked passes over row blocks so peak memory stays
+bounded, and the engine falls back to the packed kernel for genuinely
+out-of-scope inputs.
 """
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass
 from functools import lru_cache
-from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 try:
@@ -61,23 +65,111 @@ from ..grid.coords import Coord
 from ..grid.directions import Direction
 from ..grid.packing import offset_bit_table, pack_nodes
 from .algorithm import GatheringAlgorithm
+from .bitsets import subset_masks
 from .configuration import Configuration
 from .engine import _is_connected_nodes
 from .trace import Outcome
 from .view import View
 
 __all__ = [
-    "MAX_TABLE_SIZE",
+    "HARD_MAX_TABLE_SIZE",
+    "DEFAULT_TABLE_MEMORY_BUDGET",
     "ViewTable",
     "SuccessorTable",
     "TableFsyncVerdict",
+    "estimate_table_bytes",
+    "max_table_size",
+    "table_in_scope",
+    "subset_masks",
     "view_table",
+    "register_view_table",
+    "clear_table_caches",
     "successor_table",
 ]
 
-#: The paper's scope: the gathering predicate (and hence the table kernel)
-#: is defined for at most seven robots.
-MAX_TABLE_SIZE = 7
+#: The paper's own scope (and the size where the gathering predicate switches
+#: to the filled-hexagon test of Definition 1).
+GATHERING_SIZE = 7
+
+#: Absolute ceiling of the table kernel, independent of the memory budget.
+#: Beyond it the state-space size is extrapolated rather than known and the
+#: packed fallback takes over unconditionally.
+HARD_MAX_TABLE_SIZE = 12
+
+#: Default memory budget (bytes) for materialized state-space tables.  The
+#: soft size bound :func:`max_table_size` admits every size whose estimated
+#: table footprint fits; override with ``REPRO_TABLE_MEMORY_BUDGET``.
+DEFAULT_TABLE_MEMORY_BUDGET = 1 << 30
+
+#: Empirical growth ratio of fixed-polyhex counts (OEIS A001207), used to
+#: extrapolate state-space sizes beyond the known table.
+_STATE_SPACE_GROWTH = 4.7
+
+#: Rows per chunked construction / resolution pass: bounds the transient
+#: ``(block, n, n)`` arrays of the view build and the successor resolution so
+#: peak memory stays a small multiple of the resident table, whatever `n` is.
+_BUILD_BLOCK = 8192
+
+#: Mover count from which the SSYNC expander switches from the word-at-a-time
+#: bitset scan to the fully vectorized subset pass: below it (< 64 subsets)
+#: per-call numpy overhead exceeds the whole Python scan.
+_VECTOR_SUBSET_MIN_MOVERS = 7
+
+
+def state_space_size(size: int) -> int:
+    """(Estimated) number of connected ``size``-robot configurations."""
+    from ..enumeration.polyhex import FIXED_POLYHEX_COUNTS  # late: cycle
+
+    known = FIXED_POLYHEX_COUNTS.get(size)
+    if known is not None:
+        return known
+    top = max(FIXED_POLYHEX_COUNTS)
+    count = FIXED_POLYHEX_COUNTS[top]
+    for _ in range(size - top):
+        count = int(count * _STATE_SPACE_GROWTH)
+    return count
+
+
+def estimate_table_bytes(size: int, visibility_range: int = 2) -> int:
+    """Approximate resident footprint of one ``ViewTable`` + ``SuccessorTable``.
+
+    Per row: the numpy arrays (positions/views/slots/successors, ~``11n + 20``
+    bytes) plus a pessimistic allowance for the lazily-built canonical-form
+    lookup dictionaries (tuple/byte index), which dominate at Python object
+    prices.  The chunked builds keep transients below this resident cost.
+    """
+    rows = state_space_size(size)
+    per_row = (11 * size + 20) + (120 * size + 200)
+    return rows * per_row
+
+
+def max_table_size(budget: Optional[int] = None) -> int:
+    """The soft size bound: the largest size whose table fits the budget.
+
+    The bound is also capped by the largest robot count whose gathering
+    predicate is known (``Configuration._MIN_DIAMETER``) and by
+    :data:`HARD_MAX_TABLE_SIZE`; extending the predicate table lifts it.
+    """
+    if budget is None:
+        env = os.environ.get("REPRO_TABLE_MEMORY_BUDGET")
+        budget = int(env) if env else DEFAULT_TABLE_MEMORY_BUDGET
+    best = 0
+    for size in range(1, HARD_MAX_TABLE_SIZE + 1):
+        if estimate_table_bytes(size) > budget:
+            break
+        best = size
+    return min(best, max(_MIN_DIAMETER))
+
+
+def table_in_scope(size: int) -> bool:
+    """Whether the table kernel covers ``size``-robot configurations."""
+    return 1 <= size <= max_table_size()
+
+
+@lru_cache(maxsize=None)
+def _subset_masks_array(m: int) -> "np.ndarray":
+    """:func:`subset_masks` as an int32 array (the vectorized expander's order)."""
+    return np.fromiter(subset_masks(m), dtype=np.int32, count=(1 << m) - 1)
 
 #: Move codes: 0 = stay, ``i + 1`` = the i-th member of :class:`Direction`.
 _DIRECTIONS: Tuple[Direction, ...] = tuple(Direction)
@@ -134,16 +226,18 @@ class ViewTable:
     """
 
     def __init__(self, size: int, visibility_range: int) -> None:
-        if not 1 <= size <= MAX_TABLE_SIZE:
+        limit = max_table_size()
+        if not 1 <= size <= limit:
             raise ValueError(
-                f"the table kernel supports 1..{MAX_TABLE_SIZE} robots, got {size}"
+                f"the table kernel supports 1..{limit} robots within the current "
+                f"memory budget, got {size}"
             )
         from ..enumeration.polyhex import enumerate_canonical_node_sets  # late: cycle
 
         self.size = size
         self.visibility_range = visibility_range
         shapes = enumerate_canonical_node_sets(size)
-        self.shapes: Tuple[Tuple[Coord, ...], ...] = tuple(shapes)
+        self._shapes: Optional[Tuple[Tuple[Coord, ...], ...]] = tuple(shapes)
         n = size
         count = len(shapes)
         self.count = count
@@ -154,32 +248,43 @@ class ViewTable:
             count=count * n * 2,
         ).reshape(count, n, 2)
         self.positions = positions
-        canonical8 = positions.astype(np.int8)
 
-        #: Canonical-form lookups: byte string of the int8 canonical
-        #: coordinate block, and plain tuple-of-pairs.  The packed-integer
-        #: forms are derived lazily (only graph slicing needs them).
-        self.byte_index: Dict[bytes, int] = {
-            canonical8[i].tobytes(): i for i in range(count)
-        }
-        self.tuple_index: Dict[Tuple[Tuple[int, int], ...], int] = {
-            tuple((int(q), int(r)) for q, r in shape): i
-            for i, shape in enumerate(shapes)
-        }
+        #: The canonical-form lookup dictionaries (byte/tuple/packed index)
+        #: are built lazily: they dominate the resident footprint at larger
+        #: sizes and shared-memory attachments often never touch them.
+        self._byte_index: Optional[Dict[bytes, int]] = None
+        self._tuple_index: Optional[Dict[Tuple[Tuple[int, int], ...], int]] = None
         self._packed: Optional[List[int]] = None
         self._packed_index: Optional[Dict[int, int]] = None
 
-        # Batched Look: pairwise displacements through a bit LUT.
-        dq = positions[:, None, :, 0] - positions[:, :, None, 0]
-        dr = positions[:, None, :, 1] - positions[:, :, None, 1]
+        # Batched Look through a displacement bit LUT, and the geometry pass
+        # (hex distances -> diameters, gathering predicate), both computed in
+        # chunked passes over row blocks: the transient (block, n, n) arrays
+        # stay bounded however large the state space is.
         bit_table = offset_bit_table(visibility_range)
-        span = int(max(np.abs(dq).max(initial=0), np.abs(dr).max(initial=0)))
-        span = max(span, visibility_range)
+        span = max(2 * int(np.abs(positions).max(initial=0)), visibility_range)
         lut = np.zeros((2 * span + 1, 2 * span + 1), dtype=np.int32)
         for (oq, orr), bit in bit_table.items():
             if abs(oq) <= span and abs(orr) <= span:
                 lut[oq + span, orr + span] = bit
-        self.views = np.bitwise_or.reduce(lut[dq + span, dr + span], axis=2)
+        views = np.empty((count, n), dtype=np.int32)
+        diameters = np.empty(count, dtype=np.int64)
+        gathered = np.empty(count, dtype=bool)
+        for start in range(0, count, _BUILD_BLOCK):
+            stop = min(start + _BUILD_BLOCK, count)
+            block = positions[start:stop]
+            dq = block[:, None, :, 0] - block[:, :, None, 0]
+            dr = block[:, None, :, 1] - block[:, :, None, 1]
+            views[start:stop] = np.bitwise_or.reduce(lut[dq + span, dr + span], axis=2)
+            hexdist = (np.abs(dq) + np.abs(dr) + np.abs(dq + dr)) // 2
+            diameters[start:stop] = hexdist.max(axis=(1, 2))
+            if n == GATHERING_SIZE:
+                gathered[start:stop] = ((hexdist == 1).sum(axis=2) == 6).any(axis=1)
+            else:
+                gathered[start:stop] = diameters[start:stop] == _MIN_DIAMETER[n]
+        self.views = views
+        self.diameters = diameters
+        self.gathered = gathered
 
         # Unique-view index: the Compute phase is one gather through it, and
         # the reverse index drives delta-aware invalidation.
@@ -191,16 +296,76 @@ class ViewTable:
         self._rows_by_slot = (order // n).astype(np.int32)
         self._slot_bounds = np.searchsorted(flat[order], np.arange(len(unique_views) + 1))
 
-        # Geometry: pairwise hex distances give the gathering predicate and
-        # the diameters the batch runner reports.
-        hexdist = (np.abs(dq) + np.abs(dr) + np.abs(dq + dr)) // 2
-        self.diameters = hexdist.max(axis=(1, 2)).astype(np.int64)
-        if n == MAX_TABLE_SIZE:
-            self.gathered = ((hexdist == 1).sum(axis=2) == 6).any(axis=1)
-        else:
-            self.gathered = self.diameters == _MIN_DIAMETER[n]
+    @classmethod
+    def _from_arrays(
+        cls,
+        size: int,
+        visibility_range: int,
+        positions: "np.ndarray",
+        views: "np.ndarray",
+        unique_views: "np.ndarray",
+        view_slot: "np.ndarray",
+        rows_by_slot: "np.ndarray",
+        slot_bounds: "np.ndarray",
+        diameters: "np.ndarray",
+        gathered: "np.ndarray",
+    ) -> "ViewTable":
+        """Rehydrate a table around precomputed arrays (shared-memory attach).
+
+        No enumeration, no numpy passes: the arrays are adopted as-is (they
+        may be read-only views over a shared segment) and the Python-side
+        lookup structures are rebuilt lazily on first use.
+        """
+        vt = cls.__new__(cls)
+        vt.size = size
+        vt.visibility_range = visibility_range
+        vt.count = len(positions)
+        vt.positions = positions
+        vt.views = views
+        vt.unique_views = unique_views
+        vt.view_slot = view_slot
+        vt._rows_by_slot = rows_by_slot
+        vt._slot_bounds = slot_bounds
+        vt.diameters = diameters
+        vt.gathered = gathered
+        vt._shapes = None
+        vt._byte_index = None
+        vt._tuple_index = None
+        vt._packed = None
+        vt._packed_index = None
+        return vt
 
     # ------------------------------------------------------------------ lookup
+    @property
+    def shapes(self) -> Tuple[Tuple[Coord, ...], ...]:
+        """Row index -> canonical node tuple (reconstructed after an attach)."""
+        if self._shapes is None:
+            self._shapes = tuple(
+                tuple(Coord(int(q), int(r)) for q, r in shape)
+                for shape in self.positions
+            )
+        return self._shapes
+
+    @property
+    def byte_index(self) -> Dict[bytes, int]:
+        """Byte string of the int8 canonical coordinate block -> row (lazy)."""
+        if self._byte_index is None:
+            canonical8 = np.ascontiguousarray(self.positions.astype(np.int8))
+            self._byte_index = {
+                canonical8[i].tobytes(): i for i in range(self.count)
+            }
+        return self._byte_index
+
+    @property
+    def tuple_index(self) -> Dict[Tuple[Tuple[int, int], ...], int]:
+        """Canonical tuple-of-pairs -> row (lazy)."""
+        if self._tuple_index is None:
+            self._tuple_index = {
+                tuple((int(q), int(r)) for q, r in shape): i
+                for i, shape in enumerate(self.shapes)
+            }
+        return self._tuple_index
+
     @property
     def packed(self) -> List[int]:
         """Row index -> canonical packed integer (lazy: graph slicing only)."""
@@ -241,10 +406,47 @@ class ViewTable:
         return self.tuple_index.get(tuple((q - aq, r - ar) for q, r in pairs))
 
 
-@lru_cache(maxsize=None)
+#: Process-wide view-table registry (the old unbounded ``lru_cache``, made
+#: explicit so :func:`clear_table_caches` can empty it and the shared-memory
+#: attach path can seed it).
+_VIEW_TABLES: Dict[Tuple[int, int], ViewTable] = {}
+
+
 def view_table(size: int, visibility_range: int = 2) -> ViewTable:
     """The shared, memoized :class:`ViewTable` for a state-space size."""
-    return ViewTable(size, visibility_range)
+    key = (size, visibility_range)
+    table = _VIEW_TABLES.get(key)
+    if table is None:
+        table = _VIEW_TABLES[key] = ViewTable(size, visibility_range)
+    return table
+
+
+def register_view_table(table: ViewTable) -> ViewTable:
+    """Seed the registry with a rehydrated table; returns the canonical one.
+
+    Used by the shared-memory attach path so workers answer
+    :func:`view_table` queries from the attached arrays instead of
+    re-enumerating the state space.  A table already registered for the same
+    ``(size, visibility_range)`` wins (both derive from the same
+    deterministic enumeration, so they are interchangeable).
+    """
+    return _VIEW_TABLES.setdefault((table.size, table.visibility_range), table)
+
+
+def clear_table_caches(algorithm: Optional[GatheringAlgorithm] = None) -> None:
+    """Drop memoized state-space tables so large sizes don't accumulate.
+
+    Empties the process-wide view-table registry and, when ``algorithm`` is
+    given, that instance's successor tables too.  Successor tables otherwise
+    live exactly as long as their algorithm instance; the view tables are
+    global and survive until this call.  Benchmarks and tests that build
+    n>=8 tables call this afterwards to return the memory.
+    """
+    _VIEW_TABLES.clear()
+    if algorithm is not None:
+        tables = getattr(algorithm, "_successor_tables", None)
+        if tables:
+            tables.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -312,8 +514,23 @@ class SuccessorTable:
 
     # ------------------------------------------------------------------ build
     @classmethod
-    def build(cls, algorithm: GatheringAlgorithm, size: int) -> "SuccessorTable":
-        """Materialize the table for ``algorithm`` over the ``size``-robot space."""
+    def build(
+        cls,
+        algorithm: GatheringAlgorithm,
+        size: int,
+        workers: int = 1,
+        pool=None,
+        algorithm_name: Optional[str] = None,
+    ) -> "SuccessorTable":
+        """Materialize the table for ``algorithm`` over the ``size``-robot space.
+
+        With ``workers > 1`` (or an explicit ``pool``) and a registry
+        ``algorithm_name``, the Compute phase — resolving every unique view
+        through the algorithm's decision function, the only Python-loop cost
+        of the build — is fanned out over worker processes in deterministic
+        chunk order; the resolved codes are merged back into this process's
+        decision cache so later single executions agree.
+        """
         from .engine import decision_cache_for  # late: avoids an import cycle
 
         if not getattr(algorithm, "deterministic", True):
@@ -323,15 +540,35 @@ class SuccessorTable:
         assert cache is not None
         codes = np.zeros(len(vt.unique_views), dtype=np.int8)
         visibility_range = algorithm.visibility_range
-        compute = algorithm.compute
-        for slot, bitmask in enumerate(vt.unique_views.tolist()):
-            try:
-                decision = cache[bitmask]
-            except KeyError:
-                decision = compute(View.from_bitmask(bitmask, visibility_range))
-                cache[bitmask] = decision
-            if decision is not None:
-                codes[slot] = _CODE_OF[decision]
+        bitmasks = vt.unique_views.tolist()
+        parallel = (workers > 1 or pool is not None) and algorithm_name is not None
+        if parallel and len(bitmasks) >= 2048:
+            from .runner import run_chunked_tasks  # late: avoids an import cycle
+
+            chunk = max(512, -(-len(bitmasks) // (max(workers, 2) * 4)))
+            payloads = [
+                (algorithm_name, bitmasks[i : i + chunk])
+                for i in range(0, len(bitmasks), chunk)
+            ]
+            offset = 0
+            for chunk_codes in run_chunked_tasks(
+                payloads, _codes_chunk, workers=workers, pool=pool
+            ):
+                codes[offset : offset + len(chunk_codes)] = chunk_codes
+                offset += len(chunk_codes)
+            for bitmask, code in zip(bitmasks, codes.tolist()):
+                if bitmask not in cache:
+                    cache[bitmask] = None if code == 0 else _DIRECTIONS[code - 1]
+        else:
+            compute = algorithm.compute
+            for slot, bitmask in enumerate(bitmasks):
+                try:
+                    decision = cache[bitmask]
+                except KeyError:
+                    decision = compute(View.from_bitmask(bitmask, visibility_range))
+                    cache[bitmask] = decision
+                if decision is not None:
+                    codes[slot] = _CODE_OF[decision]
         return cls._from_codes(vt, codes)
 
     @classmethod
@@ -399,10 +636,22 @@ class SuccessorTable:
 
     # -------------------------------------------------- vectorized resolution
     def _resolve_rows(self, rows: Optional["np.ndarray"]) -> None:
-        """(Re)compute kind/succ/movers for ``rows`` (``None`` = every row)."""
+        """(Re)compute kind/succ/movers for ``rows`` (``None`` = every row).
+
+        Resolution runs in chunked passes over row blocks: the collision and
+        connectivity intermediates are ``(block, n, n)`` arrays, so the peak
+        never exceeds a small multiple of the resident table.
+        """
         vt = self.view
         if rows is None:
             rows = np.arange(vt.count, dtype=np.int32)
+        for start in range(0, len(rows), _BUILD_BLOCK):
+            self._resolve_block(rows[start : start + _BUILD_BLOCK])
+        self._summary = None
+
+    def _resolve_block(self, rows: "np.ndarray") -> None:
+        """One bounded-memory resolution pass (the old whole-space body)."""
+        vt = self.view
         if len(rows) == 0:
             return
         pos = vt.positions[rows]  # (M, n, 2)
@@ -482,7 +731,6 @@ class SuccessorTable:
         self.kind[rows] = kind
         self.succ[rows] = succ
         self.collision_code[rows] = collision_code
-        self._summary = None
 
     # --------------------------------------------------- functional traversal
     def fsync_summary(self) -> _FsyncSummary:
@@ -703,64 +951,205 @@ class SuccessorTable:
         cached = cache.get(row)
         if cached is not None:
             return cached
-        n = vt.size
-        positions = [(int(q), int(r)) for q, r in vt.shapes[row]]
-        mc = self.move_code[row]
-        target_of: Dict[int, Tuple[int, int]] = {}
-        for i in range(n):
-            code = int(mc[i])
-            if code:
-                dq, dr = _DIRECTIONS[code - 1].value
-                target_of[i] = (positions[i][0] + dq, positions[i][1] + dr)
-        movers = sorted(target_of)
-        index_of_pos = {pos: i for i, pos in enumerate(positions)}
-        targets_seen: Dict[int, int] = {}
-        for size in range(1, len(movers) + 1):
-            for subset in combinations(movers, size):
-                subset_set = set(subset)
-                subset_bits = 0
-                for i in subset:
-                    subset_bits |= 1 << i
-                collided = False
-                landed: Dict[Tuple[int, int], int] = {}
-                for i in subset:
-                    target = target_of[i]
-                    occupant = index_of_pos.get(target)
-                    if occupant is not None:
-                        if occupant in subset_set:
-                            if target_of[occupant] == positions[i]:
-                                collided = True  # swap along an edge
-                                break
-                        else:
-                            collided = True  # move onto a staying robot
-                            break
-                    if target in landed:
-                        collided = True  # several robots, one target
-                        break
-                    landed[target] = i
-                if collided:
-                    destination = COLLISION_SINK
-                else:
-                    nodes = frozenset(
-                        target_of[i] if i in subset_set else positions[i]
-                        for i in range(n)
-                    )
-                    if not _is_connected_nodes(nodes):
-                        destination = DISCONNECT_SINK
-                    else:
-                        aq, ar = min(nodes)
-                        nxt = vt.tuple_index[
-                            tuple(sorted((q - aq, r - ar) for q, r in nodes))
-                        ]
-                        destination = vt.packed[nxt]
-                if destination not in targets_seen:
-                    targets_seen[destination] = subset_bits
+        if int(self.mover_count[row]) >= _VECTOR_SUBSET_MIN_MOVERS:
+            targets_seen = self._ssync_targets_vectorized(
+                row, COLLISION_SINK, DISCONNECT_SINK
+            )
+        else:
+            targets_seen = self._ssync_targets_bitset(
+                row, COLLISION_SINK, DISCONNECT_SINK
+            )
         result = (
             tuple((bits, destination) for destination, bits in targets_seen.items()),
             None,
         )
         cache[row] = result
         return result
+
+    def _ssync_targets_bitset(
+        self, row: int, COLLISION_SINK: int, DISCONNECT_SINK: int
+    ) -> Dict[int, int]:
+        """Word-at-a-time SSYNC expansion for small mover sets.
+
+        Per-mover interaction bitmasks are precomputed once; each activation
+        subset is then a single machine word ``s`` and the collision predicate
+        is pure bit arithmetic: mover ``a`` (active) collides iff its target
+        holds a non-mover (``onto_stayer``), a co-active mover targets the
+        same node (``same & s``), it swaps with a co-active mover
+        (``swap & s``), or it lands on an *inactive* mover (``onto & ~s``).
+        Subsets run in :func:`subset_masks` order, so the first-edge-per-
+        successor dedup is byte-identical to the old ``combinations`` loop.
+        """
+        vt = self.view
+        n = vt.size
+        positions = [(int(q), int(r)) for q, r in vt.shapes[row]]
+        mc = self.move_code[row]
+        mover_idx: List[int] = []
+        targets: List[Tuple[int, int]] = []
+        for i in range(n):
+            code = int(mc[i])
+            if code:
+                dq, dr = _DIRECTIONS[code - 1].value
+                mover_idx.append(i)
+                targets.append((positions[i][0] + dq, positions[i][1] + dr))
+        m = len(mover_idx)
+        slot_of = {i: a for a, i in enumerate(mover_idx)}
+        index_of_pos = {pos: i for i, pos in enumerate(positions)}
+        onto_stayer = 0
+        onto = [0] * m
+        swap = [0] * m
+        same = [0] * m
+        for a in range(m):
+            target = targets[a]
+            occupant = index_of_pos.get(target)
+            if occupant is not None:
+                b = slot_of.get(occupant)
+                if b is None:
+                    onto_stayer |= 1 << a
+                else:
+                    onto[a] |= 1 << b
+                    if targets[b] == positions[mover_idx[a]]:
+                        swap[a] |= 1 << b
+            for b in range(m):
+                if b != a and targets[b] == target:
+                    same[a] |= 1 << b
+        robot_bit = [1 << i for i in mover_idx]
+        full = (1 << m) - 1
+        targets_seen: Dict[int, int] = {}
+        for s in subset_masks(m):
+            collided = bool(s & onto_stayer)
+            if not collided:
+                rem = s
+                while rem:
+                    low = rem & -rem
+                    a = low.bit_length() - 1
+                    rem ^= low
+                    if (same[a] & s) or (swap[a] & s) or (onto[a] & ~s & full):
+                        collided = True
+                        break
+            if collided:
+                destination = COLLISION_SINK
+            else:
+                nodes_list = list(positions)
+                rem = s
+                while rem:
+                    low = rem & -rem
+                    a = low.bit_length() - 1
+                    rem ^= low
+                    nodes_list[mover_idx[a]] = targets[a]
+                nodes = frozenset(nodes_list)
+                if not _is_connected_nodes(nodes):
+                    destination = DISCONNECT_SINK
+                else:
+                    aq, ar = min(nodes)
+                    nxt = vt.tuple_index[
+                        tuple(sorted((q - aq, r - ar) for q, r in nodes))
+                    ]
+                    destination = vt.packed[nxt]
+            if destination not in targets_seen:
+                subset_bits = 0
+                rem = s
+                while rem:
+                    low = rem & -rem
+                    subset_bits |= robot_bit[low.bit_length() - 1]
+                    rem ^= low
+                targets_seen[destination] = subset_bits
+        return targets_seen
+
+    def _ssync_targets_vectorized(
+        self, row: int, COLLISION_SINK: int, DISCONNECT_SINK: int
+    ) -> Dict[int, int]:
+        """Vectorized SSYNC expansion: all ``2^m - 1`` subsets in one pass.
+
+        The collision predicate, the successor positions, the connectivity
+        check and the canonicalization all run as batched array operations
+        over the full subset axis (the same formulations ``_resolve_block``
+        uses per row); only the final in-order dedup walks Python-side.
+        Subset order is :func:`subset_masks` order, keeping the minimal-mover
+        representatives byte-identical to the ``combinations`` path.
+        """
+        vt = self.view
+        n = vt.size
+        pos = vt.positions[row].astype(np.int16)  # (n, 2)
+        mc = self.move_code[row]
+        mover_idx = np.nonzero(mc)[0]  # ascending robot indices
+        m = len(mover_idx)
+        deltas = _DELTAS[mc[mover_idx]]  # (m, 2)
+        targets = pos[mover_idx] + deltas  # (m, 2)
+
+        pos_key = _sort_key(pos)  # (n,)
+        tgt_key = _sort_key(targets)  # (m,)
+        # onto[a, b]: mover a's target is mover b's current node.
+        hit = tgt_key[:, None] == pos_key[None, :]  # (m, n)
+        onto = hit[:, mover_idx]  # (m, m)
+        stayer = np.ones(n, dtype=bool)
+        stayer[mover_idx] = False
+        onto_stayer = hit[:, stayer].any(axis=1)  # (m,)
+        pair = onto & onto.T  # swap
+        same = tgt_key[:, None] == tgt_key[None, :]
+        np.fill_diagonal(same, False)
+        pair |= same
+        pair8 = pair.astype(np.uint8)
+        onto8 = onto.astype(np.uint8)
+
+        order = _subset_masks_array(m)  # (K,)
+        member = ((order[:, None] >> np.arange(m)) & 1).astype(bool)  # (K, m)
+        mem8 = member.astype(np.uint8)
+        collided = (member & onto_stayer[None, :]).any(axis=1)
+        collided |= np.einsum("ka,ab,kb->k", mem8, pair8, mem8, dtype=np.int16) > 0
+        collided |= np.einsum("ka,ab,kb->k", mem8, onto8, 1 - mem8, dtype=np.int16) > 0
+
+        K = len(order)
+        act = np.zeros((K, n), dtype=bool)
+        act[:, mover_idx] = member
+        full_targets = pos.copy()
+        full_targets[mover_idx] = targets
+        new_pos = np.where(act[:, :, None], full_targets[None, :, :], pos[None, :, :])
+
+        destinations: List[int] = [COLLISION_SINK] * K
+        ok = np.nonzero(~collided)[0]
+        if len(ok) > 0:
+            okpos = new_pos[ok]
+            ndq = okpos[:, None, :, 0] - okpos[:, :, None, 0]
+            ndr = okpos[:, None, :, 1] - okpos[:, :, None, 1]
+            adjacent = (
+                ((np.abs(ndq) + np.abs(ndr) + np.abs(ndq + ndr)) // 2) == 1
+            ).astype(np.uint8)
+            reach = np.zeros((len(ok), 1, n), dtype=np.uint8)
+            reach[:, 0, 0] = 1
+            for _ in range(n - 1):
+                reach = np.minimum(reach + np.matmul(reach, adjacent), 1)
+            connected = reach[:, 0, :].all(axis=1)
+            for j in ok[~connected]:
+                destinations[j] = DISCONNECT_SINK
+            cidx = ok[connected]
+            if len(cidx) > 0:
+                cpos = new_pos[cidx]
+                key = _sort_key(cpos)
+                anchor = cpos[np.arange(len(cidx)), key.argmin(axis=1)]
+                rel = cpos - anchor[:, None, :]
+                corder = _sort_key(rel).argsort(axis=1)
+                canonical = np.take_along_axis(
+                    rel, corder[:, :, None], axis=1
+                ).astype(np.int8)
+                byte_index = vt.byte_index
+                packed = vt.packed
+                for j, block in zip(cidx, canonical):
+                    nxt = byte_index.get(block.tobytes())
+                    if nxt is None:  # pragma: no cover - the space is closed
+                        raise RuntimeError(
+                            "successor configuration missing from the state space"
+                        )
+                    destinations[j] = packed[nxt]
+
+        weights = 1 << np.arange(n, dtype=np.int32)
+        robot_bits = (act * weights).sum(axis=1)
+        targets_seen: Dict[int, int] = {}
+        for j in range(K):
+            destination = destinations[j]
+            if destination not in targets_seen:
+                targets_seen[destination] = int(robot_bits[j])
+        return targets_seen
 
     # ------------------------------------------------------- cegis fast path
     def fsync_verdict(self, root_rows: "np.ndarray") -> "TableFsyncVerdict":
@@ -890,7 +1279,39 @@ class TableFsyncVerdict:
 # The per-algorithm table registry.
 # ---------------------------------------------------------------------------
 
-def successor_table(algorithm: GatheringAlgorithm, size: int) -> SuccessorTable:
+def _codes_chunk(payload: Tuple[str, List[int]]) -> List[int]:
+    """Worker entry point of the parallel Compute fan-out: views -> codes.
+
+    Resolves one chunk of unique view bitmasks through the per-process
+    algorithm instance's decision function (no view table, no enumeration —
+    the chunk is self-contained), returning plain move-code ints.
+    """
+    algorithm_name, bitmasks = payload
+    from .engine import decision_cache_for  # late: avoids an import cycle
+    from .runner import worker_algorithm  # late: avoids an import cycle
+
+    algorithm = worker_algorithm(algorithm_name)
+    cache = decision_cache_for(algorithm)
+    visibility_range = algorithm.visibility_range
+    compute = algorithm.compute
+    codes: List[int] = []
+    for bitmask in bitmasks:
+        try:
+            decision = cache[bitmask]
+        except KeyError:
+            decision = compute(View.from_bitmask(bitmask, visibility_range))
+            cache[bitmask] = decision
+        codes.append(0 if decision is None else _CODE_OF[decision])
+    return codes
+
+
+def successor_table(
+    algorithm: GatheringAlgorithm,
+    size: int,
+    workers: int = 1,
+    pool=None,
+    algorithm_name: Optional[str] = None,
+) -> SuccessorTable:
     """The memoized successor table of ``algorithm`` over the ``size`` space.
 
     Tables attach to the algorithm instance (like the decision cache), so an
@@ -900,6 +1321,10 @@ def successor_table(algorithm: GatheringAlgorithm, size: int) -> SuccessorTable:
     :class:`repro.synth.ruleset.OverrideAlgorithm` does — are **derived**
     from their base algorithm's table via delta-aware invalidation instead of
     being rebuilt, which is what makes per-candidate CEGIS evaluation cheap.
+
+    ``workers`` / ``pool`` / ``algorithm_name`` parallelize a cold build's
+    Compute phase (see :meth:`SuccessorTable.build`); they are ignored when
+    the table is already memoized or derived.
     """
     tables = getattr(algorithm, "_successor_tables", None)
     if tables is None:
@@ -910,8 +1335,12 @@ def successor_table(algorithm: GatheringAlgorithm, size: int) -> SuccessorTable:
         layers = getattr(algorithm, "table_kernel_layers", None)
         if layers is not None:
             base, overrides, amendments = layers
-            table = successor_table(base, size).derive(overrides, amendments)
+            table = successor_table(
+                base, size, workers=workers, pool=pool, algorithm_name=None
+            ).derive(overrides, amendments)
         else:
-            table = SuccessorTable.build(algorithm, size)
+            table = SuccessorTable.build(
+                algorithm, size, workers=workers, pool=pool, algorithm_name=algorithm_name
+            )
         tables[size] = table
     return table

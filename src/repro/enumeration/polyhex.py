@@ -19,22 +19,30 @@ n     count
 5     186
 6     814
 7     3652
+8     16689
+9     77359
 ====  =======
 
-so the paper's 3652 is recovered exactly by this enumeration.
+so the paper's 3652 is recovered exactly by this enumeration, and the n>7
+scale-out of the state-space engine uses the same machinery.
 
 The enumeration proceeds level by level: every connected ``n``-node set is a
-connected ``(n-1)``-node set plus one adjacent node, so we grow all sets of
-size ``n`` from the canonical sets of size ``n - 1`` and deduplicate by the
-translation-canonical form.  For ``n = 7`` this takes well under a second.
+connected ``(n-1)``-node set plus one adjacent node, so we grow the sets of
+size ``n`` from the *memoized* canonical sets of size ``n - 1`` (one level of
+growth per size, never a from-scratch rebuild) and deduplicate by the packed
+canonical integer (:func:`repro.grid.packing.pack_nodes`) — one small int per
+seen shape instead of a tuple of coordinates, which is what keeps the n>=8
+levels memory-lean.  :func:`iter_canonical_node_sets` streams a level without
+materializing its sorted tuple.  ``n = 7`` takes well under a second; ``n = 9``
+(77359 shapes) a few seconds on top of the memoized ``n = 8`` level.
 """
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from ..core.configuration import Configuration
 from ..grid.coords import Coord, neighbors
+from ..grid.packing import pack_nodes, unpack_nodes
 from ..grid.symmetry import canonical_translation, canonical_up_to_symmetry
 
 __all__ = [
@@ -44,11 +52,13 @@ __all__ = [
     "enumerate_connected_configurations",
     "count_connected_configurations",
     "count_free_configurations",
+    "iter_canonical_node_sets",
     "iter_connected_configurations",
 ]
 
 #: Known counts of connected n-node configurations up to translation
-#: (fixed polyhexes, OEIS A001207).  Used by the tests and the E1 benchmark.
+#: (fixed polyhexes, OEIS A001207).  Used by the tests, the E1 benchmark and
+#: the table kernel's state-space size estimates.
 FIXED_POLYHEX_COUNTS: Dict[int, int] = {
     1: 1,
     2: 3,
@@ -58,6 +68,8 @@ FIXED_POLYHEX_COUNTS: Dict[int, int] = {
     6: 814,
     7: 3652,
     8: 16689,
+    9: 77359,
+    10: 362671,
 }
 
 #: Known counts of connected n-node configurations up to translation, rotation
@@ -74,31 +86,77 @@ FREE_POLYHEX_COUNTS: Dict[int, int] = {
 }
 
 
-@lru_cache(maxsize=None)
+#: Memoized canonical shapes per size (the explicit twin of the old
+#: ``lru_cache``): every caller in a process shares one pass, and the
+#: streaming iterator can peek at it without forcing a build.
+_CANONICAL_CACHE: Dict[int, Tuple[Tuple[Coord, ...], ...]] = {}
+
+
+def _grow_level(
+    previous: Sequence[Tuple[Coord, ...]]
+) -> Iterator[Tuple[Coord, ...]]:
+    """Stream the canonical ``k+1``-node shapes grown from the ``k``-node level.
+
+    Every connected set is a smaller connected set plus one adjacent node;
+    deduplication keys on the packed canonical integer, so the only state held
+    across the stream is one int per emitted shape — not the shapes
+    themselves.  Emission order is growth order (unspecified); the memoized
+    tuple sorts once at the end.
+    """
+    seen: Set[int] = set()
+    for shape in previous:
+        shape_set = set(shape)
+        candidates: Set[Coord] = set()
+        for node in shape:
+            for nb in neighbors(node):
+                if nb not in shape_set:
+                    candidates.add(nb)
+        for candidate in candidates:
+            key = pack_nodes(shape_set | {candidate})
+            if key not in seen:
+                seen.add(key)
+                yield unpack_nodes(key)
+
+
 def _canonical_node_sets(size: int) -> Tuple[Tuple[Coord, ...], ...]:
     """The memoized enumeration: every caller in a process shares one pass.
 
     The fixtures, the explorer's default root set, the sweep grid and the
     table kernel's state-space construction all re-enumerate the same sizes;
     the shapes are immutable tuples, so one shared tuple-of-tuples serves
-    them all.
+    them all.  Each size is one growth pass over the memoized previous level.
     """
     if size < 1:
         raise ValueError("size must be at least 1")
-    current: Set[Tuple[Coord, ...]] = {canonical_translation([Coord(0, 0)])}
-    for _ in range(size - 1):
-        grown: Set[Tuple[Coord, ...]] = set()
-        for shape in current:
-            shape_set = set(shape)
-            candidates: Set[Coord] = set()
-            for node in shape:
-                for nb in neighbors(node):
-                    if nb not in shape_set:
-                        candidates.add(nb)
-            for candidate in candidates:
-                grown.add(canonical_translation(shape_set | {candidate}))
-        current = grown
-    return tuple(sorted(current))
+    cached = _CANONICAL_CACHE.get(size)
+    if cached is None:
+        if size == 1:
+            cached = (canonical_translation([Coord(0, 0)]),)
+        else:
+            cached = tuple(sorted(_grow_level(_canonical_node_sets(size - 1))))
+        _CANONICAL_CACHE[size] = cached
+    return cached
+
+
+def iter_canonical_node_sets(size: int) -> Iterator[Tuple[Coord, ...]]:
+    """Stream the canonical node sets of one size without materializing them.
+
+    When the size is already memoized this yields the sorted shapes from the
+    cache; otherwise it grows the (memoized) previous level and yields shapes
+    as they are discovered, in unspecified order, holding only the packed-int
+    dedup set — the memory-lean path for one-pass consumers at ``n >= 8``
+    (the nightly census pipeline, sampling tests).
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    cached = _CANONICAL_CACHE.get(size)
+    if cached is not None:
+        yield from cached
+        return
+    if size == 1:
+        yield canonical_translation([Coord(0, 0)])
+        return
+    yield from _grow_level(_canonical_node_sets(size - 1))
 
 
 def enumerate_canonical_node_sets(size: int) -> List[Tuple[Coord, ...]]:

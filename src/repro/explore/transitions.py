@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core.bitsets import subset_masks
 from ..core.configuration import Configuration
 from ..core.engine import (
     _is_connected_nodes,
@@ -152,6 +153,122 @@ def expand_packed(
     Returns ``(edges, terminal)``.  Quiescent vertices (no robot intends to
     move) have no edges and a terminal kind; every other vertex has at least
     one edge and ``terminal is None``.
+
+    SSYNC activation subsets are enumerated as machine-word bitmasks over the
+    sorted mover list (:func:`repro.core.bitsets.subset_masks`), with the
+    collision predicate precomputed once per vertex as per-mover interaction
+    masks — byte-identical edges to the original per-subset
+    ``detect_collision_nodes`` enumeration (kept as
+    :func:`_expand_packed_combinations` for the property tests), but the
+    inner loop is pure bit arithmetic.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
+    positions = unpack_nodes(packed)
+    position_set = frozenset(positions)
+    intents = move_intents(position_set, algorithm)
+    if not intents:
+        kind = (
+            TERMINAL_GATHERED
+            if Configuration(positions).is_gathered()
+            else TERMINAL_DEADLOCK
+        )
+        return (), kind
+
+    index_of = {pos: index for index, pos in enumerate(positions)}
+    movers = sorted(intents)
+    m = len(movers)
+    targets_of = [mover.step(intents[mover]) for mover in movers]
+
+    # Per-mover interaction masks: mover ``a`` (active under subset ``s``)
+    # collides iff its target holds a non-mover (``onto_stayer``), a co-active
+    # mover shares the target (``same & s``), it swaps with a co-active mover
+    # (``swap & s``), or it lands on an *inactive* mover (``onto & ~s``) —
+    # the same three forbidden behaviours ``detect_collision_nodes`` checks.
+    mover_slot = {pos: a for a, pos in enumerate(movers)}
+    onto_stayer = 0
+    onto = [0] * m
+    swap = [0] * m
+    same = [0] * m
+    for a, target in enumerate(targets_of):
+        if target in position_set:
+            b = mover_slot.get(target)
+            if b is None:
+                onto_stayer |= 1 << a
+            else:
+                onto[a] |= 1 << b
+                if targets_of[b] == movers[a]:
+                    swap[a] |= 1 << b
+        for b in range(m):
+            if b != a and targets_of[b] == target:
+                same[a] |= 1 << b
+    robot_bit = [1 << index_of[pos] for pos in movers]
+
+    if mode == "fsync":
+        masks: Iterable[int] = ((1 << m) - 1,)
+    else:
+        # Increasing cardinality, so the first edge reaching a successor is
+        # the one with the fewest movers.
+        masks = subset_masks(m)
+
+    full = (1 << m) - 1
+    targets: Dict[int, int] = {}
+    for s in masks:
+        collided = bool(s & onto_stayer)
+        if not collided:
+            rem = s
+            while rem:
+                low = rem & -rem
+                a = low.bit_length() - 1
+                rem ^= low
+                if (same[a] & s) or (swap[a] & s) or (onto[a] & ~s & full):
+                    collided = True
+                    break
+        if collided:
+            destination = COLLISION_SINK
+        else:
+            # Two passes (clear every activated source, then add every
+            # target) so a mover stepping into a co-active mover's vacated
+            # node survives whatever order the bits come off the word.
+            next_nodes = set(position_set)
+            rem = s
+            while rem:
+                low = rem & -rem
+                next_nodes.discard(movers[low.bit_length() - 1])
+                rem ^= low
+            rem = s
+            while rem:
+                low = rem & -rem
+                next_nodes.add(targets_of[low.bit_length() - 1])
+                rem ^= low
+            if require_connectivity and not _is_connected_nodes(next_nodes):
+                destination = DISCONNECT_SINK
+            else:
+                destination = pack_nodes(next_nodes)
+        if destination not in targets:
+            bits = 0
+            rem = s
+            while rem:
+                low = rem & -rem
+                bits |= robot_bit[low.bit_length() - 1]
+                rem ^= low
+            targets[destination] = bits
+    return tuple((bits, destination) for destination, bits in targets.items()), None
+
+
+def _expand_packed_combinations(
+    packed: int,
+    algorithm,
+    mode: str = "fsync",
+    require_connectivity: bool = True,
+) -> Tuple[Tuple[Edge, ...], Optional[str]]:
+    """The original ``itertools.combinations`` expansion, kept as the oracle.
+
+    Byte-identical to :func:`expand_packed` (the property tests assert it
+    over whole state spaces); the engine's own ``detect_collision_nodes`` /
+    ``apply_moves_nodes`` are consulted per subset, so this is the reference
+    the bitset fast path is checked against — not a code path anything else
+    should call.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; available: {MODES}")
@@ -171,8 +288,6 @@ def expand_packed(
     if mode == "fsync":
         subsets: Iterable[Tuple[Coord, ...]] = (tuple(movers),)
     else:
-        # Increasing cardinality, so the first edge reaching a successor is
-        # the one with the fewest movers.
         subsets = (
             subset
             for size in range(1, len(movers) + 1)
@@ -206,13 +321,13 @@ def _table_expander(algorithm, mode: str, require_connectivity: bool):
     disconnected vertices — falls back to :func:`expand_packed`, so the
     resulting graph is byte-identical either way.
     """
-    from ..core.table_kernel import MAX_TABLE_SIZE, successor_table  # late: numpy gate
+    from ..core.table_kernel import successor_table, table_in_scope  # late: numpy gate
 
     tables: Dict[int, object] = {}
 
     def expand(packed: int) -> Tuple[Tuple[Edge, ...], Optional[str]]:
         size = packed_count(packed)
-        if 1 <= size <= MAX_TABLE_SIZE and getattr(algorithm, "deterministic", True):
+        if table_in_scope(size) and getattr(algorithm, "deterministic", True):
             table = tables.get(size)
             if table is None:
                 table = tables[size] = successor_table(algorithm, size)
@@ -228,7 +343,7 @@ def _table_expander(algorithm, mode: str, require_connectivity: bool):
 # Graph construction (serial or parallel frontier expansion).
 # ---------------------------------------------------------------------------
 
-_ExpandPayload = Tuple[str, str, List[int], bool, Optional[str], str]
+_ExpandPayload = Tuple[str, str, List[int], bool, Optional[str], str, Tuple]
 
 
 def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], Optional[str]]]:
@@ -237,9 +352,17 @@ def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], 
     With a ``cache_dir`` the worker shares the on-disk decision cache
     (:mod:`repro.core.decision_cache`), so frontier chunks expanded by
     different processes stop recomputing each other's Look–Compute table.
+    Shared-table handles (``kernel="table"``) are attached once per process,
+    so every worker slices the parent's one successor table instead of
+    building its own.
     """
-    algorithm_name, mode, packed_list, require_connectivity, cache_dir, kernel = payload
+    algorithm_name, mode, packed_list, require_connectivity, cache_dir, kernel, handles = payload
     algorithm = worker_algorithm(algorithm_name)
+    if handles:
+        from ..core.shared_tables import attach_table  # late: avoids an import cycle
+
+        for handle in handles:
+            attach_table(handle)
     if cache_dir is not None:
         from ..core.decision_cache import load_shared_cache  # late: avoids an import cycle
 
@@ -351,7 +474,34 @@ def build_transition_graph(
         if kernel == "table"
         else None
     )
+    handles: Tuple = ()
+    published: List = []
     try:
+        # Parallel table exploration: build the successor tables for the root
+        # sizes once (the Compute fan-out reuses the pool), publish the arrays
+        # in shared memory and hand every worker the attachment handles —
+        # rounds preserve the robot count, so root sizes cover the graph.
+        if (
+            pool is not None
+            and kernel == "table"
+            and getattr(algorithm, "deterministic", True)
+        ):
+            from ..core.shared_tables import publish_table  # late: numpy gate
+            from ..core.table_kernel import successor_table, table_in_scope
+
+            sizes = sorted(
+                {packed_count(p) for p in packed_roots if table_in_scope(packed_count(p))}
+            )
+            for table_size in sizes:
+                table = successor_table(
+                    algorithm,
+                    table_size,
+                    workers=workers,
+                    pool=pool,
+                    algorithm_name=resolved_name,
+                )
+                published.append(publish_table(table, resolved_name))
+            handles = tuple(published)
         while frontier and expanded < budget:
             take = int(min(len(frontier), budget - expanded))
             batch, frontier = frontier[:take], frontier[take:]
@@ -364,6 +514,7 @@ def build_transition_graph(
                         require_connectivity,
                         None if cache_dir is None else str(cache_dir),
                         kernel,
+                        handles,
                     )
                     for i in range(0, len(batch), chunk_size)
                 ]
@@ -390,6 +541,11 @@ def build_transition_graph(
         if pool is not None:
             pool.terminate()
             pool.join()
+        if published:
+            from ..core.shared_tables import unpublish_table
+
+            for handle in published:
+                unpublish_table(handle)
 
     if cache_dir is not None:
         from ..core.decision_cache import persist_shared_cache

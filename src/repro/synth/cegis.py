@@ -443,14 +443,14 @@ def synthesize(
     root_rows = None
     if kernel == "table":
         try:
-            from ..core.table_kernel import MAX_TABLE_SIZE, successor_table
+            from ..core.table_kernel import successor_table, table_in_scope
         except ImportError:
             kernel = "packed"
         else:
             import numpy as np
 
             if roots is None:
-                if 1 <= size <= MAX_TABLE_SIZE:
+                if table_in_scope(size):
                     base_table = successor_table(base, size)
                     root_rows = np.arange(base_table.view.count, dtype=np.int32)
             else:
@@ -462,7 +462,7 @@ def synthesize(
                 for item in roots:
                     nodes = item.nodes if isinstance(item, Configuration) else tuple(item)
                     n = len(tuple(nodes))
-                    if not 1 <= n <= MAX_TABLE_SIZE or (
+                    if not table_in_scope(n) or (
                         table0 is not None and n != table0.view.size
                     ):
                         usable = False

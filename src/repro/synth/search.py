@@ -243,10 +243,10 @@ def _base_table_for(base: GatheringAlgorithm, packed: int):
     """The base algorithm's successor table for targeted replay, if usable."""
     size = packed_count(packed)
     try:
-        from ..core.table_kernel import MAX_TABLE_SIZE, successor_table
+        from ..core.table_kernel import successor_table, table_in_scope
     except ImportError:
         return None
-    if not 1 <= size <= MAX_TABLE_SIZE or not getattr(base, "deterministic", True):
+    if not table_in_scope(size) or not getattr(base, "deterministic", True):
         return None
     return successor_table(base, size)
 

@@ -9,6 +9,7 @@ import pytest
 
 from repro.analysis.census_pins import (
     PINNED_CENSUS,
+    PINNED_CENSUS_N8,
     THEOREM2_ROOTS,
     census_ok,
     census_regressions,
@@ -33,10 +34,14 @@ _REQUIRED_DEFAULTS = {
     "exhaustive_verification_seconds": 1.0,
     "table_sweep_seconds": 1.0,
     "table_sweep_warm_seconds": 1.0,
+    "n8_table_sweep_seconds": 1.0,
+    "parallel_sweep_seconds": 1.0,
     "table_fsync_build_seconds": 1.0,
     "table_fsync_build_warm_seconds": 1.0,
     "table_ssync_build_seconds": 1.0,
     "table_ssync_build_warm_seconds": 1.0,
+    "n8_fsync_build_seconds": 1.0,
+    "n8_ssync_build_seconds": 1.0,
     "recovery_candidates_per_second": 50.0,
 }
 
@@ -270,5 +275,9 @@ def test_nightly_census_reproduces_every_pin(nightly_census, tmp_path):
     assert code == 0
     report = json.loads(report_path.read_text())
     assert report["failures"] == []
-    assert len(report["checks"]) == len(PINNED_CENSUS)
+    assert len(report["checks"]) == len(PINNED_CENSUS) + len(PINNED_CENSUS_N8)
     assert all(check["matches"] for check in report["checks"])
+    # The scale-out pins re-derive at n=8 on the table kernel.
+    n8_checks = [check for check in report["checks"] if check["size"] == 8]
+    assert len(n8_checks) == len(PINNED_CENSUS_N8)
+    assert all(check["kernel"] == "table" for check in n8_checks)

@@ -64,9 +64,19 @@ def test_gathering_predicate_small_sizes():
     assert Configuration([(0, 0), (1, 0), (0, 1), (1, 1)]).is_gathered()
 
 
+def test_gathering_predicate_scaled_sizes():
+    # n=8/9: gathered iff the diameter is the minimum achievable (3).
+    hex_plus_one = Configuration(
+        [(0, 0), (1, 0), (0, 1), (-1, 1), (-1, 0), (0, -1), (1, -1), (2, -1)]
+    )
+    assert hex_plus_one.diameter() == 3
+    assert hex_plus_one.is_gathered()
+    assert not Configuration([(i, 0) for i in range(8)]).is_gathered()
+
+
 def test_gathering_predicate_wrong_size():
     with pytest.raises(InvalidConfigurationError):
-        Configuration([(i % 4, i // 4) for i in range(8)]).is_gathered()
+        Configuration([(i % 4, i // 4) for i in range(10)]).is_gathered()
 
 
 def test_degrees_of_hexagon():

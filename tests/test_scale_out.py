@@ -1,0 +1,186 @@
+"""Scale-out invariants: the state-space engine past the paper's n=7.
+
+Property tests for the three legs of the scale-out work:
+
+* the memory-lean polyhex growth reproduces the fixed-polyhex counts at
+  n=8 and (streamed) n=9;
+* the bitset SSYNC activation enumeration is byte-identical to the
+  ``itertools.combinations`` oracle over *every* seven-robot root and a
+  seeded sample of eight-robot roots;
+* the shared-memory parallel sweep equals the serial table sweep exactly
+  and never leaks a ``/dev/shm`` segment, and the publish/attach/unpublish
+  round trip preserves every array.
+
+The exhaustive n=8 censuses pinned in :mod:`repro.analysis.census_pins`
+are re-derived end to end on the table kernel.
+"""
+import glob
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")  # the scale-out paths ride the table kernel
+
+from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
+from repro.analysis.census_pins import (
+    N8_ROOTS,
+    PINNED_CENSUS,
+    PINNED_CENSUS_N8,
+    pinned_census,
+)
+from repro.core.runner import run_many
+from repro.core.shared_tables import (
+    attach_table,
+    attached_segments,
+    detach_all,
+    publish_table,
+    published_segments,
+    unpublish_table,
+)
+from repro.core.table_kernel import (
+    clear_table_caches,
+    estimate_table_bytes,
+    max_table_size,
+    successor_table,
+    table_in_scope,
+    view_table,
+)
+from repro.enumeration.polyhex import (
+    FIXED_POLYHEX_COUNTS,
+    enumerate_canonical_node_sets,
+    iter_canonical_node_sets,
+)
+from repro.explore import explore
+from repro.explore.transitions import _expand_packed_combinations, expand_packed
+from repro.grid.packing import pack_nodes
+
+
+def _assert_no_shm_leak():
+    assert not glob.glob("/dev/shm/repro_tbl_*"), "leaked shared-memory segments"
+
+
+# ---------------------------------------------------------------- enumeration
+def test_polyhex_n8_count():
+    shapes = enumerate_canonical_node_sets(8)
+    assert len(shapes) == FIXED_POLYHEX_COUNTS[8] == N8_ROOTS
+    assert len({pack_nodes(shape) for shape in shapes}) == N8_ROOTS
+    assert all(len(shape) == 8 for shape in shapes)
+
+
+def test_polyhex_n9_streamed_count():
+    # The streaming iterator holds one packed int per emitted shape, never
+    # the 77359-tuple level itself.
+    assert sum(1 for _ in iter_canonical_node_sets(9)) == FIXED_POLYHEX_COUNTS[9]
+
+
+# ------------------------------------------------------------- bitset SSYNC
+def _assert_expansions_identical(packed_roots, algorithm, modes):
+    for mode in modes:
+        for packed in packed_roots:
+            fast = expand_packed(packed, algorithm, mode=mode)
+            oracle = _expand_packed_combinations(packed, algorithm, mode=mode)
+            assert fast == oracle
+
+
+def test_bitset_expansion_identical_on_all_n7_roots():
+    algorithm = ShibataGatheringAlgorithm()
+    roots = [pack_nodes(shape) for shape in enumerate_canonical_node_sets(7)]
+    _assert_expansions_identical(roots, algorithm, ("ssync", "fsync"))
+
+
+def test_bitset_expansion_identical_on_sampled_n8_roots():
+    algorithm = ShibataGatheringAlgorithm()
+    shapes = enumerate_canonical_node_sets(8)
+    rng = random.Random(88)
+    sample = [pack_nodes(shape) for shape in rng.sample(shapes, 250)]
+    _assert_expansions_identical(sample, algorithm, ("ssync", "fsync"))
+
+
+# ----------------------------------------------------------- pinned censuses
+def test_pinned_census_n8_accessor():
+    for (algorithm, mode), pinned in PINNED_CENSUS_N8.items():
+        assert sum(pinned.values()) == N8_ROOTS
+        assert pinned_census(algorithm, mode, size=8) == pinned
+    assert pinned_census("shibata-visibility2", "fsync") == PINNED_CENSUS[
+        ("shibata-visibility2", "fsync")
+    ]
+    with pytest.raises(KeyError):
+        pinned_census("shibata-visibility2", "fsync", size=9)
+
+
+def test_n8_censuses_match_pins():
+    # End-to-end re-derivation of the scale-out pins on the table kernel;
+    # one algorithm instance so the successor table builds once.
+    clear_table_caches()
+    algorithm = ShibataGatheringAlgorithm()
+    for mode in ("fsync", "ssync"):
+        report = explore(
+            algorithm=algorithm, size=8, mode=mode, kernel="table",
+            with_witnesses=False,
+        )
+        assert not report.graph.truncated
+        assert dict(report.root_census) == pinned_census(
+            "shibata-visibility2", mode, size=8
+        )
+    clear_table_caches(algorithm)
+
+
+# ------------------------------------------------------------- scope policy
+def test_table_scope_policy():
+    assert max_table_size() >= 8, "the default budget must cover the n=8 space"
+    assert table_in_scope(7) and table_in_scope(8)
+    assert not table_in_scope(0)
+    assert not table_in_scope(max_table_size() + 1)
+    # The estimate grows with the state space, so the memory bound is monotone.
+    assert estimate_table_bytes(8) > estimate_table_bytes(7) > 0
+
+
+def test_clear_table_caches_drops_views_and_tables():
+    view_table(4, 2)
+    algorithm = ShibataGatheringAlgorithm()
+    successor_table(algorithm, 4)
+    assert algorithm._successor_tables
+    clear_table_caches(algorithm)
+    assert not algorithm._successor_tables
+    from repro.core.table_kernel import _VIEW_TABLES
+
+    assert not _VIEW_TABLES
+
+
+# ----------------------------------------------------------- shared memory
+def test_shared_table_publish_attach_roundtrip():
+    clear_table_caches()
+    algorithm = ShibataGatheringAlgorithm()
+    table = successor_table(algorithm, 5)
+    handle = publish_table(table, "shibata-visibility2")
+    try:
+        assert handle.name in published_segments()
+        attached = attach_table(handle)
+        assert handle.name in attached_segments()
+        assert np.array_equal(attached.succ, table.succ)
+        assert np.array_equal(attached.codes, table.codes)
+        assert np.array_equal(attached.mover_count, table.mover_count)
+        assert np.array_equal(attached.view.positions, table.view.positions)
+        assert np.array_equal(attached.view.diameters, table.view.diameters)
+        # Attaching is memoized per segment: same object back.
+        assert attach_table(handle) is attached
+    finally:
+        detach_all()
+        unpublish_table(handle)
+        unpublish_table(handle)  # idempotent
+        clear_table_caches(algorithm)
+    assert handle.name not in published_segments()
+    _assert_no_shm_leak()
+
+
+def test_parallel_table_sweep_matches_serial_and_cleans_up():
+    clear_table_caches()
+    configurations = enumerate_canonical_node_sets(8)[::16]
+    algorithm = ShibataGatheringAlgorithm()
+    serial = run_many(configurations, algorithm=algorithm, max_rounds=600,
+                      kernel="table")
+    clear_table_caches(algorithm)
+    parallel = run_many(configurations, algorithm_name="shibata-visibility2",
+                        max_rounds=600, kernel="table", workers=2)
+    assert parallel.results == serial.results
+    _assert_no_shm_leak()

@@ -18,8 +18,8 @@ from repro.core.engine import default_kernel, run_execution
 from repro.core.runner import run_many
 from repro.core.scheduler import scheduler_from_spec
 from repro.core.table_kernel import (
-    MAX_TABLE_SIZE,
     SuccessorTable,
+    max_table_size,
     successor_table,
     view_table,
 )
@@ -310,7 +310,7 @@ def test_default_kernel_prefers_table():
 
 def test_view_table_rejects_oversized_spaces():
     with pytest.raises(ValueError):
-        view_table(MAX_TABLE_SIZE + 1, 2)
+        view_table(max_table_size() + 1, 2)
 
 
 def test_table_kernel_requires_deterministic_algorithm():
