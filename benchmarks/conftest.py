@@ -19,6 +19,7 @@ really changed.
 """
 from __future__ import annotations
 
+import glob
 import json
 import platform
 import time
@@ -60,6 +61,15 @@ def write_baseline(path: Path, timings: Dict[str, object]) -> None:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:
         pass
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_shared_memory_leak():
+    """Fail the session if any ``repro_tbl_*`` shared-memory segment leaks."""
+    before = set(glob.glob("/dev/shm/repro_tbl_*"))
+    yield
+    leaked = sorted(set(glob.glob("/dev/shm/repro_tbl_*")) - before)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 @pytest.fixture(scope="session")

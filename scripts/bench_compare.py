@@ -56,6 +56,8 @@ REQUIRED_TIMINGS = {
         "table_sweep_warm_seconds",
         "n8_table_sweep_seconds",
         "parallel_sweep_seconds",
+        "telemetry_overhead_seconds",
+        "telemetry_overhead_disabled_seconds",
     ),
     "explorer": (
         "table_fsync_build_seconds",

@@ -78,7 +78,7 @@ from .synth import (
     synthesize,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

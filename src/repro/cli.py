@@ -35,13 +35,22 @@ Subcommands
 Every subcommand documents its exit codes in ``--help``; JSON-producing
 subcommands accept ``--output FILE`` so machine-readable reports never
 interleave with progress text on stdout.
+
+Observability
+-------------
+All subcommands share the observability flags from :mod:`repro.obs`:
+``--telemetry FILE`` writes a run manifest plus the merged metrics snapshot
+as JSON on exit, ``--trace FILE`` appends span/event records as JSON Lines,
+and ``--log-level``/``--log-json`` configure structured logging on stderr.
+``repro-gathering --version`` prints the package version.
 """
 from __future__ import annotations
 
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Optional, Sequence
 
 from .algorithms import available_algorithms, create_algorithm
 from .algorithms.range1 import CANDIDATE_TABLES, RuleTableAlgorithm, line_configuration
@@ -54,6 +63,15 @@ from .core.runner import run_sweep
 from .enumeration.polyhex import count_connected_configurations
 from .explore import MODES, explore
 from .io.serialization import dumps, exploration_to_dict, report_to_dict, synthesis_to_dict, trace_to_dict
+from .obs import (
+    close_sink,
+    configure_sink,
+    new_run_id,
+    package_version,
+    run_manifest,
+    setup_logging,
+    write_telemetry,
+)
 from .viz.ascii_art import render_trace, render_witness
 
 __all__ = ["main", "build_parser"]
@@ -74,10 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
         description="Gathering of seven autonomous mobile robots on triangular grids "
         "(reproduction of Shibata et al., 2021).",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Observability flags shared by every subcommand (parents=[common]).
+    common = argparse.ArgumentParser(add_help=False)
+    obs_group = common.add_argument_group("observability")
+    obs_group.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="write the run manifest + merged metrics snapshot to FILE as JSON on exit",
+    )
+    obs_group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append structured span/event records to FILE as JSON Lines",
+    )
+    obs_group.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured logging on stderr at this level",
+    )
+    obs_group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON Lines (implies --log-level info unless set)",
+    )
 
     p_enum = sub.add_parser(
         "enumerate",
+        parents=[common],
         help="count connected initial configurations",
         epilog="exit codes: 0 always (errors raise non-zero via argparse)",
     )
@@ -85,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_verify = sub.add_parser(
         "verify",
+        parents=[common],
         help="exhaustive verification (experiment E2)",
         epilog="exit codes: 0 every configuration gathered, 1 otherwise",
     )
@@ -114,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser(
         "trace",
+        parents=[common],
         help="trace one execution (experiment E4)",
         epilog="exit codes: 0 the execution gathered, 1 otherwise",
     )
@@ -130,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_r1 = sub.add_parser(
         "range1",
+        parents=[common],
         help="visibility-range-1 impossibility (experiment E3)",
         epilog="exit codes: 0 impossibility refutation complete, 1 search budget exhausted",
     )
@@ -138,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep",
+        parents=[common],
         help="algorithm × scheduler × max-rounds ablation grid",
         epilog="exit codes: 0 the grid ran to completion (regardless of outcomes)",
     )
@@ -175,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_explore = sub.add_parser(
         "explore",
+        parents=[common],
         help="exhaustive transition-graph model checking",
         epilog="exit codes: 0 every root is gathered or provably safe "
         "(the Theorem 2 shape), 1 otherwise",
@@ -233,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_synth = sub.add_parser(
         "synth",
+        parents=[common],
         help="counterexample-guided rule synthesis (repair toward Theorem 2)",
         epilog="exit codes: 0 coverage strictly improved and the result passed "
         "SSYNC validation (or validation was skipped), 1 no improvement found, "
@@ -572,7 +627,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explore": _cmd_explore,
         "synth": _cmd_synth,
     }
-    return handlers[args.command](args)
+    new_run_id()  # one run id per invocation, correlating logs/spans/manifest
+    if args.log_level or args.log_json:
+        setup_logging(level=args.log_level or "info", json_lines=args.log_json)
+    if args.trace:
+        configure_sink(args.trace)
+    status: Optional[int] = None
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        status = handlers[args.command](args)
+        return status
+    finally:
+        if args.telemetry:
+            manifest = run_manifest(
+                command=args.command,
+                args={k: v for k, v in sorted(vars(args).items()) if k != "command"},
+                wall_seconds=time.perf_counter() - wall_start,
+                cpu_seconds=time.process_time() - cpu_start,
+                exit_status=status,
+            )
+            write_telemetry(args.telemetry, manifest)
+        close_sink()
 
 
 if __name__ == "__main__":  # pragma: no cover

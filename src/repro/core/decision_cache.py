@@ -29,8 +29,12 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..grid.directions import Direction
+from ..obs import get_logger
+from ..obs import metrics as _obs
 from .algorithm import GatheringAlgorithm
 from .engine import decision_cache_for
+
+_LOG = get_logger("core.decision_cache")
 
 __all__ = [
     "cache_key",
@@ -100,6 +104,9 @@ def load_shared_cache(
         if bitmask not in cache:
             cache[bitmask] = move
             adopted += 1
+    if adopted:
+        _obs.counter("decision_cache.shared_adopted").inc(adopted)
+        _LOG.debug("adopted %d shared decisions for %s", adopted, algorithm.name)
     return adopted
 
 
@@ -132,4 +139,6 @@ def persist_shared_cache(
     temporary = path.with_suffix(f".tmp.{os.getpid()}")
     temporary.write_text(json.dumps(payload, sort_keys=True) + "\n")
     os.replace(temporary, path)
+    _obs.counter("decision_cache.shared_persisted").inc(len(merged))
+    _LOG.debug("persisted %d shared decisions for %s", len(merged), algorithm.name)
     return len(merged)

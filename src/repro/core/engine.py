@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from ..grid.coords import Coord
 from ..grid.directions import Direction
 from ..grid.packing import offset_bit_table, pack_nodes
+from ..obs import metrics as _obs
 from .algorithm import GatheringAlgorithm
 from .configuration import Configuration
 from .errors import CollisionError
@@ -149,6 +150,8 @@ def _packed_moves(
     table_get = table.get
     compute = algorithm.compute
     moves: Dict[Coord, Direction] = {}
+    lookups = 0
+    misses = 0
     for pos in positions:
         if activated is not None and pos not in activated:
             continue
@@ -158,13 +161,21 @@ def _packed_moves(
             bit = table_get((other[0] - pq, other[1] - pr))
             if bit is not None:
                 bitmask |= bit
+        lookups += 1
         try:
             decision = cache[bitmask]
         except KeyError:
+            misses += 1
             decision = compute(View.from_bitmask(bitmask, visibility_range))
             cache[bitmask] = decision
         if decision is not None:
             moves[pos] = decision
+    # One aggregated update per call, never per robot: the enabled-path cost
+    # stays invisible next to the Look loop above.
+    if lookups:
+        _obs.counter("decision_cache.lookups").inc(lookups)
+        if misses:
+            _obs.counter("decision_cache.misses").inc(misses)
     return moves
 
 

@@ -29,11 +29,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..grid.coords import Coord
+from ..obs import get_logger
+from ..obs import metrics as _obs
+from ..obs import record_span as _obs_record_span
 from .algorithm import GatheringAlgorithm
 from .configuration import Configuration
 from .engine import DEFAULT_MAX_ROUNDS, run_execution
 from .scheduler import FullySynchronousScheduler, Scheduler, scheduler_from_spec
 from .trace import Outcome
+
+_LOG = get_logger("core.runner")
 
 __all__ = [
     "ConfigurationResult",
@@ -168,8 +173,12 @@ def worker_algorithm(algorithm_name: str) -> GatheringAlgorithm:
     return algorithm
 
 
-def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
+def _execute_chunk(payload: _ChunkPayload) -> Tuple[List[ConfigurationResult], Dict]:
     """Worker entry point: execute one chunk of configurations.
+
+    Returns the results plus the worker registry's drained metrics delta
+    (:func:`repro.obs.metrics.export_delta`), which the parent merges so
+    parallel counter totals stay exact across process boundaries.
 
     The payload carries only picklable primitives (names, specs, node tuples
     and shared-table handles); the algorithm is resolved through the
@@ -210,7 +219,7 @@ def _execute_chunk(payload: _ChunkPayload) -> List[ConfigurationResult]:
         from .decision_cache import persist_shared_cache
 
         persist_shared_cache(algorithm, cache_dir)
-    return results
+    return results, _obs.export_delta()
 
 
 def _table_batch_results(
@@ -309,6 +318,43 @@ def iter_result_chunks(
     cache (:mod:`repro.core.decision_cache`); both the serial and the
     parallel path adopt it on entry and merge their decisions back.
     """
+    # Counting happens here — once per yielded chunk, after worker deltas
+    # merge — so serial and parallel sweeps report identically and
+    # ``runner.configurations`` always equals the number of results produced.
+    for chunk in _iter_result_chunks_uncounted(
+        configurations,
+        algorithm=algorithm,
+        algorithm_name=algorithm_name,
+        scheduler=scheduler,
+        max_rounds=max_rounds,
+        workers=workers,
+        chunk_size=chunk_size,
+        kernel=kernel,
+        cache_dir=cache_dir,
+    ):
+        if chunk:
+            _obs.counter("runner.configurations").inc(len(chunk))
+            outcomes: Dict[str, int] = {}
+            for result in chunk:
+                value = result.outcome.value
+                outcomes[value] = outcomes.get(value, 0) + 1
+            for value, count in outcomes.items():
+                _obs.counter(f"runner.outcome.{value}").inc(count)
+        yield chunk
+
+
+def _iter_result_chunks_uncounted(
+    configurations: Iterable[ConfigurationLike],
+    algorithm: Optional[GatheringAlgorithm] = None,
+    algorithm_name: Optional[str] = None,
+    scheduler: Union[None, str, Scheduler] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    kernel: str = "packed",
+    cache_dir: Optional[str] = None,
+) -> Iterator[List[ConfigurationResult]]:
+    """The streaming core behind :func:`iter_result_chunks` (no telemetry)."""
     if (algorithm is None) == (algorithm_name is None):
         raise ValueError("provide exactly one of algorithm / algorithm_name")
     if chunk_size < 1:
@@ -413,7 +459,11 @@ def iter_result_chunks(
             )
             for i in range(0, len(node_tuples), chunk_size)
         ]
-        yield from run_chunked_tasks(payloads, _execute_chunk, workers=workers, pool=pool)
+        for results, delta in run_chunked_tasks(
+            payloads, _execute_chunk, workers=workers, pool=pool
+        ):
+            _obs.merge(delta)
+            yield results
     finally:
         # Deterministic cleanup even when the consumer abandons the iterator:
         # the pool dies first (no worker still holds an attachment), then the
@@ -533,6 +583,20 @@ def run_many(
         if progress is not None:
             progress(len(batch.results), total)
     batch.elapsed_seconds = time.perf_counter() - start
+    _obs_record_span(
+        "runner.batch",
+        batch.elapsed_seconds,
+        algorithm=resolved_name,
+        scheduler=scheduler_name,
+        kernel=kernel,
+        workers=batch.workers,
+        configurations=batch.total,
+    )
+    _LOG.info(
+        "batch done: %s/%s kernel=%s workers=%d %d configurations in %.3fs",
+        resolved_name, scheduler_name, kernel, batch.workers, batch.total,
+        batch.elapsed_seconds,
+    )
     return batch
 
 
@@ -632,6 +696,7 @@ def run_sweep(
                 elapsed_seconds=batch.elapsed_seconds,
             )
         )
+        _obs.counter("runner.sweep_cells").inc()
         if progress is not None:
             progress(index + 1, len(grid))
     return cells

@@ -25,7 +25,12 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs import event as _obs_event
+from ..obs import get_logger
+from ..obs import metrics as _obs
 from .table_kernel import SuccessorTable, ViewTable, register_view_table
+
+_LOG = get_logger("core.shared_tables")
 
 __all__ = [
     "SharedTableHandle",
@@ -146,6 +151,13 @@ def publish_table(table: SuccessorTable, algorithm_name: str) -> SharedTableHand
         view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
         view[...] = array
     _PUBLISHED[name] = segment
+    # The live-segment gauge is the leak detector: any nonzero reading after
+    # pool teardown means an unlinked /dev/shm segment.
+    _obs.counter("shm.segments_published").inc()
+    _obs.gauge("shm.live_segments").set(len(_PUBLISHED))
+    _obs.gauge("shm.published_bytes").inc(offset)
+    _obs_event("shm.publish", segment=name, bytes=offset, size=table.view.size)
+    _LOG.debug("published %s (%d bytes, n=%d)", name, offset, table.view.size)
     return SharedTableHandle(
         name=name,
         algorithm_name=algorithm_name,
@@ -205,6 +217,9 @@ def attach_table(handle: SharedTableHandle, register: bool = True) -> SuccessorT
         collision_code=fields["collision_code"],
     )
     _ATTACHED[handle.name] = (segment, table)
+    _obs.counter("shm.segments_attached").inc()
+    _obs.gauge("shm.attached_segments").set(len(_ATTACHED))
+    _LOG.debug("attached %s (%d bytes)", handle.name, handle.total_bytes)
     if register:
         from .runner import worker_algorithm  # late: avoids an import cycle
 
@@ -226,6 +241,11 @@ def unpublish_table(handle: SharedTableHandle) -> None:
         segment.close()
     finally:
         segment.unlink()
+    _obs.counter("shm.segments_unpublished").inc()
+    _obs.gauge("shm.live_segments").set(len(_PUBLISHED))
+    _obs.gauge("shm.published_bytes").dec(handle.total_bytes)
+    _obs_event("shm.unlink", segment=handle.name)
+    _LOG.debug("unpublished %s", handle.name)
 
 
 def detach_all() -> None:
@@ -238,6 +258,7 @@ def detach_all() -> None:
     while _ATTACHED:
         _, (segment, _) = _ATTACHED.popitem()
         segment.close()
+    _obs.gauge("shm.attached_segments").set(0)
 
 
 def attached_segments() -> Tuple[str, ...]:

@@ -49,6 +49,7 @@ out-of-scope inputs.
 from __future__ import annotations
 
 import os
+import time
 
 from dataclasses import dataclass
 from functools import lru_cache
@@ -64,6 +65,8 @@ except ImportError as _exc:  # pragma: no cover - the image bakes numpy in
 from ..grid.coords import Coord
 from ..grid.directions import Direction
 from ..grid.packing import offset_bit_table, pack_nodes
+from ..obs import metrics as _obs
+from ..obs import record_span as _obs_record_span
 from .algorithm import GatheringAlgorithm
 from .bitsets import subset_masks
 from .configuration import Configuration
@@ -234,6 +237,7 @@ class ViewTable:
             )
         from ..enumeration.polyhex import enumerate_canonical_node_sets  # late: cycle
 
+        build_start = time.perf_counter()
         self.size = size
         self.visibility_range = visibility_range
         shapes = enumerate_canonical_node_sets(size)
@@ -295,6 +299,25 @@ class ViewTable:
         order = np.argsort(flat, kind="stable")
         self._rows_by_slot = (order // n).astype(np.int32)
         self._slot_bounds = np.searchsorted(flat[order], np.arange(len(unique_views) + 1))
+
+        _obs.counter("table.view_builds").inc()
+        _obs_record_span(
+            "table.view_build",
+            time.perf_counter() - build_start,
+            size=size,
+            rows=count,
+            unique_views=len(unique_views),
+        )
+
+    def array_bytes(self) -> int:
+        """Resident bytes of the NumPy arrays (lazy lookup dicts excluded)."""
+        return sum(
+            getattr(self, field).nbytes
+            for field in (
+                "positions", "views", "unique_views", "view_slot",
+                "_rows_by_slot", "_slot_bounds", "diameters", "gathered",
+            )
+        )
 
     @classmethod
     def _from_arrays(
@@ -535,6 +558,7 @@ class SuccessorTable:
 
         if not getattr(algorithm, "deterministic", True):
             raise ValueError("the table kernel requires a deterministic algorithm")
+        build_start = time.perf_counter()
         vt = view_table(size, algorithm.visibility_range)
         cache = decision_cache_for(algorithm)
         assert cache is not None
@@ -551,9 +575,10 @@ class SuccessorTable:
                 for i in range(0, len(bitmasks), chunk)
             ]
             offset = 0
-            for chunk_codes in run_chunked_tasks(
+            for chunk_codes, delta in run_chunked_tasks(
                 payloads, _codes_chunk, workers=workers, pool=pool
             ):
+                _obs.merge(delta)
                 codes[offset : offset + len(chunk_codes)] = chunk_codes
                 offset += len(chunk_codes)
             for bitmask, code in zip(bitmasks, codes.tolist()):
@@ -561,15 +586,45 @@ class SuccessorTable:
                     cache[bitmask] = None if code == 0 else _DIRECTIONS[code - 1]
         else:
             compute = algorithm.compute
+            misses = 0
             for slot, bitmask in enumerate(bitmasks):
                 try:
                     decision = cache[bitmask]
                 except KeyError:
+                    misses += 1
                     decision = compute(View.from_bitmask(bitmask, visibility_range))
                     cache[bitmask] = decision
                 if decision is not None:
                     codes[slot] = _CODE_OF[decision]
-        return cls._from_codes(vt, codes)
+            _obs.counter("decision_cache.lookups").inc(len(bitmasks))
+            if misses:
+                _obs.counter("decision_cache.misses").inc(misses)
+        table = cls._from_codes(vt, codes)
+        estimated = estimate_table_bytes(size, algorithm.visibility_range)
+        actual = table.array_bytes()
+        _obs.counter("table.succ_builds").inc()
+        _obs.gauge("table.estimated_bytes").set(estimated)
+        _obs.gauge("table.actual_bytes").set(actual)
+        _obs_record_span(
+            "table.succ_build",
+            time.perf_counter() - build_start,
+            size=size,
+            rows=vt.count,
+            estimated_bytes=estimated,
+            actual_bytes=actual,
+        )
+        return table
+
+    def array_bytes(self) -> int:
+        """Resident bytes of the table arrays, view table included."""
+        own = sum(
+            getattr(self, field).nbytes
+            for field in (
+                "codes", "move_code", "mover_bits", "mover_count",
+                "kind", "succ", "collision_code",
+            )
+        )
+        return own + self.view.array_bytes()
 
     @classmethod
     def _from_codes(cls, vt: ViewTable, codes: "np.ndarray") -> "SuccessorTable":
@@ -615,6 +670,8 @@ class SuccessorTable:
         if len(changed) == 0:
             return self
         dirty = vt.rows_of_slots(changed)
+        _obs.counter("table.derives").inc()
+        _obs.counter("table.rows_rederived").inc(len(dirty))
         move_code = self.move_code.copy()
         move_code[dirty] = codes[vt.view_slot[dirty]]
         table = SuccessorTable(
@@ -950,7 +1007,9 @@ class SuccessorTable:
         cache = self._ssync_local if row in self._ssync_dirty else self._ssync_cache
         cached = cache.get(row)
         if cached is not None:
+            _obs.counter("ssync.expand_cache_hits").inc()
             return cached
+        _obs.counter("ssync.expand_cache_misses").inc()
         if int(self.mover_count[row]) >= _VECTOR_SUBSET_MIN_MOVERS:
             targets_seen = self._ssync_targets_vectorized(
                 row, COLLISION_SINK, DISCONNECT_SINK
@@ -1279,12 +1338,13 @@ class TableFsyncVerdict:
 # The per-algorithm table registry.
 # ---------------------------------------------------------------------------
 
-def _codes_chunk(payload: Tuple[str, List[int]]) -> List[int]:
+def _codes_chunk(payload: Tuple[str, List[int]]) -> Tuple[List[int], Dict]:
     """Worker entry point of the parallel Compute fan-out: views -> codes.
 
     Resolves one chunk of unique view bitmasks through the per-process
     algorithm instance's decision function (no view table, no enumeration —
-    the chunk is self-contained), returning plain move-code ints.
+    the chunk is self-contained), returning plain move-code ints plus the
+    drained metrics delta the parent merges (see :mod:`repro.obs.metrics`).
     """
     algorithm_name, bitmasks = payload
     from .engine import decision_cache_for  # late: avoids an import cycle
@@ -1295,14 +1355,19 @@ def _codes_chunk(payload: Tuple[str, List[int]]) -> List[int]:
     visibility_range = algorithm.visibility_range
     compute = algorithm.compute
     codes: List[int] = []
+    misses = 0
     for bitmask in bitmasks:
         try:
             decision = cache[bitmask]
         except KeyError:
+            misses += 1
             decision = compute(View.from_bitmask(bitmask, visibility_range))
             cache[bitmask] = decision
         codes.append(0 if decision is None else _CODE_OF[decision])
-    return codes
+    _obs.counter("decision_cache.lookups").inc(len(bitmasks))
+    if misses:
+        _obs.counter("decision_cache.misses").inc(misses)
+    return codes, _obs.export_delta()
 
 
 def successor_table(

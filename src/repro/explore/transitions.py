@@ -45,6 +45,11 @@ from ..core.engine import (
 from ..core.runner import ConfigurationLike, run_chunked_tasks, worker_algorithm
 from ..grid.coords import Coord
 from ..grid.packing import pack_nodes, packed_count, unpack_nodes
+from ..obs import DEFAULT_COUNT_BUCKETS, get_logger
+from ..obs import metrics as _obs
+from ..obs import record_span as _obs_record_span
+
+_LOG = get_logger("explore.transitions")
 
 __all__ = [
     "COLLISION_SINK",
@@ -346,9 +351,13 @@ def _table_expander(algorithm, mode: str, require_connectivity: bool):
 _ExpandPayload = Tuple[str, str, List[int], bool, Optional[str], str, Tuple]
 
 
-def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], Optional[str]]]:
+def _expand_chunk(
+    payload: _ExpandPayload,
+) -> Tuple[List[Tuple[int, Tuple[Edge, ...], Optional[str]]], Dict]:
     """Worker entry point: expand one chunk of packed vertices.
 
+    Returns the expansions plus the worker registry's drained metrics delta
+    (:func:`repro.obs.metrics.export_delta`) for the parent to merge.
     With a ``cache_dir`` the worker shares the on-disk decision cache
     (:mod:`repro.core.decision_cache`), so frontier chunks expanded by
     different processes stop recomputing each other's Look–Compute table.
@@ -379,7 +388,7 @@ def _expand_chunk(payload: _ExpandPayload) -> List[Tuple[int, Tuple[Edge, ...], 
         from ..core.decision_cache import persist_shared_cache
 
         persist_shared_cache(algorithm, cache_dir)
-    return results
+    return results, _obs.export_delta()
 
 
 def _pack_roots(roots: Iterable[ConfigurationLike]) -> Tuple[int, ...]:
@@ -518,8 +527,12 @@ def build_transition_graph(
                     )
                     for i in range(0, len(batch), chunk_size)
                 ]
-                chunks = run_chunked_tasks(payloads, _expand_chunk, pool=pool)
-                results = [item for chunk in chunks for item in chunk]
+                results = []
+                for chunk, delta in run_chunked_tasks(
+                    payloads, _expand_chunk, pool=pool
+                ):
+                    _obs.merge(delta)
+                    results.extend(chunk)
             elif expand is not None:
                 results = [(packed, *expand(packed)) for packed in batch]
             else:
@@ -528,15 +541,22 @@ def build_transition_graph(
                     for packed in batch
                 ]
             expanded += len(results)
+            _obs.counter("explore.vertices_expanded").inc(len(results))
+            _obs.histogram("explore.frontier_size", DEFAULT_COUNT_BUCKETS).observe(
+                len(batch)
+            )
+            edge_total = 0
             for packed, edges, terminal_kind in results:
                 if terminal_kind is not None:
                     graph.terminal[packed] = terminal_kind
                     continue
                 graph.edges[packed] = edges
+                edge_total += len(edges)
                 for _, destination in edges:
                     if destination >= 0 and destination not in seen:
                         seen.add(destination)
                         frontier.append(destination)
+            _obs.counter("explore.edges_discovered").inc(edge_total)
     finally:
         if pool is not None:
             pool.terminate()
@@ -554,4 +574,18 @@ def build_transition_graph(
 
     graph.unexplored = frozenset(frontier)
     graph.elapsed_seconds = time.perf_counter() - start
+    _obs_record_span(
+        "explore.build",
+        graph.elapsed_seconds,
+        algorithm=resolved_name,
+        mode=mode,
+        kernel=kernel,
+        vertices=expanded,
+        truncated=graph.truncated,
+    )
+    _LOG.info(
+        "explored %s/%s kernel=%s: %d vertices in %.3fs (%.0f/s)",
+        resolved_name, mode, kernel, expanded, graph.elapsed_seconds,
+        expanded / graph.elapsed_seconds if graph.elapsed_seconds else 0.0,
+    )
     return graph

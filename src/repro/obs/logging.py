@@ -1,0 +1,69 @@
+"""Structured stdlib logging for the ``repro.*`` logger hierarchy.
+
+One call — ``setup_logging(level, json_lines=...)`` — configures the root
+``repro`` logger with either a human-readable formatter or a JSON-lines
+formatter whose records carry the telemetry run id, so log lines and trace
+events of one run correlate on the same ``run`` field:
+
+    {"ts": 1754..., "level": "info", "logger": "repro.core.runner",
+     "msg": "sweep cell done", "run": "a1b2c3d4e5f6"}
+
+Library code logs through :func:`get_logger`; nothing is emitted until a
+CLI entry point (or a test) opts in, and the default level is ``warning``
+so instrumented hot paths stay silent unless asked.
+"""
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+from . import tracing
+
+_HUMAN_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record, run-id-correlated with the trace sink."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+            "run": tracing.run_id(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("core.runner")``)."""
+    if not name:
+        return logging.getLogger("repro")
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def setup_logging(
+    level: str = "warning",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger; idempotent per process."""
+    logger = logging.getLogger("repro")
+    resolved = getattr(logging, str(level).upper(), None)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    logger.setLevel(resolved)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLinesFormatter() if json_lines else logging.Formatter(_HUMAN_FORMAT)
+    )
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    return logger

@@ -1,0 +1,248 @@
+"""Snapshot, merge and export: the consumer-facing half of the telemetry.
+
+The ``--telemetry PATH`` flag writes one JSON document per run in the
+``repro-telemetry/1`` schema::
+
+    {
+      "schema": "repro-telemetry/1",
+      "manifest": {"run_id": ..., "version": ..., "git": ..., "command": ...,
+                   "args": {...}, "wall_seconds": ..., "cpu_seconds": ...},
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+:func:`validate_telemetry` is the schema check used by CI and the tests;
+:func:`render_text` and :func:`render_prometheus` turn a snapshot into a
+terminal table or a Prometheus exposition page (the future
+gathering-as-a-service scrape endpoint).
+"""
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Any, Dict, List, Optional
+
+from . import metrics as _metrics
+from . import tracing
+
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+_DIST_NAME = "repro-gathering"
+
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version(_DIST_NAME)
+    except Exception:
+        try:
+            from repro import __version__
+
+            return __version__
+        except Exception:
+            return "unknown"
+
+
+def git_describe() -> Optional[str]:
+    """``git describe`` of the source checkout, or None outside a work tree."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--tags", "--always", "--dirty"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def run_manifest(
+    command: Optional[str] = None,
+    args: Optional[Dict[str, Any]] = None,
+    wall_seconds: Optional[float] = None,
+    cpu_seconds: Optional[float] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The per-run provenance record embedded in every telemetry file."""
+    manifest: Dict[str, Any] = {
+        "run_id": tracing.run_id(),
+        "version": package_version(),
+        "git": git_describe(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": round(time.time(), 3),
+        "command": command,
+        "args": args,
+        "wall_seconds": None if wall_seconds is None else round(wall_seconds, 4),
+        "cpu_seconds": None if cpu_seconds is None else round(cpu_seconds, 4),
+    }
+    manifest.update(extra)
+    return manifest
+
+
+def telemetry_payload(manifest: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "manifest": manifest if manifest is not None else run_manifest(),
+        "metrics": _metrics.snapshot(),
+    }
+
+
+def write_telemetry(path: str, manifest: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Write the current snapshot (+ manifest) as JSON; returns the payload."""
+    payload = telemetry_payload(manifest)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return payload
+
+
+def validate_telemetry(payload: Any) -> List[str]:
+    """Schema-check a telemetry document; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != TELEMETRY_SCHEMA:
+        problems.append(f"schema must be {TELEMETRY_SCHEMA!r}, got {payload.get('schema')!r}")
+
+    manifest = payload.get("manifest")
+    if not isinstance(manifest, dict):
+        problems.append("manifest must be an object")
+    else:
+        for key in ("run_id", "version"):
+            if not isinstance(manifest.get(key), str) or not manifest.get(key):
+                problems.append(f"manifest.{key} must be a non-empty string")
+
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+        return problems
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            problems.append(f"metrics.{section} must be an object")
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"counter {name}: value must be a non-negative int, got {value!r}")
+    for name, value in metrics.get("gauges", {}).items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"gauge {name}: value must be a number, got {value!r}")
+    for name, data in metrics.get("histograms", {}).items():
+        if not isinstance(data, dict):
+            problems.append(f"histogram {name}: must be an object")
+            continue
+        bounds = data.get("bounds")
+        counts = data.get("counts")
+        if not isinstance(bounds, list) or not bounds or any(
+            b >= c for b, c in zip(bounds, bounds[1:])
+        ):
+            problems.append(f"histogram {name}: bounds must be strictly increasing")
+            continue
+        if (
+            not isinstance(counts, list)
+            or len(counts) != len(bounds) + 1
+            or any(not isinstance(c, int) or c < 0 for c in counts)
+        ):
+            problems.append(
+                f"histogram {name}: counts must be {len(bounds) + 1} non-negative ints"
+            )
+            continue
+        if data.get("count") != sum(counts):
+            problems.append(
+                f"histogram {name}: count {data.get('count')} != sum of bucket counts"
+            )
+    return problems
+
+
+def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
+    """Combine snapshots: counters/histograms add, gauges take the last value."""
+    merged: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][name] = value
+        for name, data in snap.get("histograms", {}).items():
+            existing = merged["histograms"].get(name)
+            if existing is None:
+                merged["histograms"][name] = {
+                    "bounds": list(data["bounds"]),
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                }
+                continue
+            if existing["bounds"] != list(data["bounds"]):
+                raise ValueError(f"histogram {name}: mismatched bounds across snapshots")
+            existing["counts"] = [a + b for a, b in zip(existing["counts"], data["counts"])]
+            existing["sum"] += data["sum"]
+            existing["count"] += data["count"]
+    return merged
+
+
+def render_text(snapshot: Optional[Dict[str, Any]] = None) -> str:
+    """An aligned terminal table of the snapshot."""
+    snap = snapshot if snapshot is not None else _metrics.snapshot()
+    lines: List[str] = []
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    width = max(
+        [len(n) for n in counters] + [len(n) for n in gauges]
+        + [len(n) for n in histograms] + [1]
+    )
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    if histograms:
+        lines.append("histograms:")
+        for name, data in histograms.items():
+            mean = data["sum"] / data["count"] if data["count"] else 0.0
+            lines.append(
+                f"  {name:<{width}}  count={data['count']} sum={data['sum']:.6g}"
+                f" mean={mean:.6g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + "".join(c if c.isalnum() else "_" for c in name)
+
+
+def render_prometheus(snapshot: Optional[Dict[str, Any]] = None) -> str:
+    """Prometheus text exposition of the snapshot (cumulative histogram buckets)."""
+    snap = snapshot if snapshot is not None else _metrics.snapshot()
+    lines: List[str] = []
+    for name, value in snap.get("counters", {}).items():
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snap.get("gauges", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, data in snap.get("histograms", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{metric}_sum {data['sum']}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,188 @@
+"""Run-id-correlated spans and point events with an optional JSONL sink.
+
+A *span* times a region of work.  Spans nest through a :mod:`contextvars`
+variable, so concurrent tasks (threads, asyncio) each see their own parent
+chain; every span records its duration into a seconds histogram named
+``span.<name>.seconds`` and — when a sink is configured — appends one JSON
+line to the trace file:
+
+    {"ts": ..., "run": "<run id>", "kind": "span", "name": "cegis.propose",
+     "span": "1f03-2", "parent": "1f03-1", "seconds": 0.1234,
+     "status": "ok", "attrs": {...}}
+
+Point events (``kind": "event"``) share the schema minus the timing fields.
+The run id correlates every line (and every structured log record) of one
+CLI invocation; worker processes inherit nothing here — their metrics ride
+home through the registry drain, and span timing inside workers stays in
+their histograms.
+
+With metrics disabled and no sink configured a span still nests (one
+contextvar set/reset and two ``perf_counter`` calls) but records nothing;
+call sites are coarse — builds, phases, batches — never per robot.
+"""
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+import uuid
+from types import TracebackType
+from typing import IO, Any, Dict, Optional, Type
+
+from . import metrics as _metrics
+
+_RUN_ID: Optional[str] = None
+_SINK: Optional[IO[str]] = None
+_SINK_PATH: Optional[str] = None
+_SINK_LOCK = threading.Lock()
+_SPAN_IDS = itertools.count(1)
+_CURRENT_SPAN: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+# ------------------------------------------------------------------ run id
+def run_id() -> str:
+    """The id correlating every trace line and log record of this run."""
+    global _RUN_ID
+    if _RUN_ID is None:
+        _RUN_ID = uuid.uuid4().hex[:12]
+    return _RUN_ID
+
+
+def set_run_id(value: str) -> str:
+    global _RUN_ID
+    _RUN_ID = value
+    return value
+
+
+def new_run_id() -> str:
+    return set_run_id(uuid.uuid4().hex[:12])
+
+
+# -------------------------------------------------------------------- sink
+def configure_sink(path: str) -> str:
+    """Append JSONL trace events to ``path`` (parent directories created)."""
+    global _SINK, _SINK_PATH
+    close_sink()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with _SINK_LOCK:
+        _SINK = open(path, "a", encoding="utf-8")
+        _SINK_PATH = path
+    return path
+
+
+def sink_path() -> Optional[str]:
+    return _SINK_PATH
+
+
+def close_sink() -> None:
+    global _SINK, _SINK_PATH
+    with _SINK_LOCK:
+        if _SINK is not None:
+            try:
+                _SINK.close()
+            except OSError:
+                pass
+        _SINK = None
+        _SINK_PATH = None
+
+
+def _emit(record: Dict[str, Any]) -> None:
+    sink = _SINK
+    if sink is None:
+        return
+    line = json.dumps(record, sort_keys=True, default=str)
+    with _SINK_LOCK:
+        if _SINK is not None:
+            _SINK.write(line + "\n")
+            _SINK.flush()
+
+
+def event(name: str, **attrs: Any) -> None:
+    """A point-in-time trace event (JSONL only; no metric side effect)."""
+    if _SINK is None:
+        return
+    record: Dict[str, Any] = {
+        "ts": time.time(),
+        "run": run_id(),
+        "kind": "event",
+        "name": name,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+# ------------------------------------------------------------------- spans
+def record_span(name: str, seconds: float, **attrs: Any) -> None:
+    """Record a hand-timed region as if a span had wrapped it."""
+    _metrics.histogram(f"span.{name}.seconds").observe(seconds)
+    if _SINK is None:
+        return
+    record: Dict[str, Any] = {
+        "ts": time.time(),
+        "run": run_id(),
+        "kind": "span",
+        "name": name,
+        "span": f"{os.getpid():x}-{next(_SPAN_IDS):x}",
+        "parent": _CURRENT_SPAN.get(),
+        "seconds": round(seconds, 6),
+        "status": "ok",
+    }
+    if attrs:
+        record["attrs"] = attrs
+    _emit(record)
+
+
+class span:
+    """Context manager timing a region: ``with span("explore.build", size=7): ...``"""
+
+    __slots__ = ("name", "attrs", "id", "parent", "_start", "_token")
+
+    def __init__(self, name: str, **attrs: Any):
+        self.name = name
+        self.attrs = attrs
+        self.id = f"{os.getpid():x}-{next(_SPAN_IDS):x}"
+        self.parent: Optional[str] = None
+        self._start = 0.0
+        self._token: Optional["contextvars.Token[Optional[str]]"] = None
+
+    def __enter__(self) -> "span":
+        self.parent = _CURRENT_SPAN.get()
+        self._token = _CURRENT_SPAN.set(self.id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        seconds = time.perf_counter() - self._start
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        if not _metrics.enabled() and _SINK is None:
+            return
+        _metrics.histogram(f"span.{self.name}.seconds").observe(seconds)
+        if _SINK is None:
+            return
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "run": run_id(),
+            "kind": "span",
+            "name": self.name,
+            "span": self.id,
+            "parent": self.parent,
+            "seconds": round(seconds, 6),
+            "status": "error" if exc_type is not None else "ok",
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        _emit(record)

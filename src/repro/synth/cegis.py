@@ -55,7 +55,12 @@ from ..explore.report import ExplorationReport, explore
 from ..explore.transitions import TERMINAL_DEADLOCK, TransitionGraph
 from ..grid.directions import Direction
 from ..grid.packing import view_bitmask
+from ..obs import get_logger
+from ..obs import metrics as _obs
+from ..obs import span as _span
 from .dsl import RuleSet
+
+_LOG = get_logger("synth.cegis")
 from .ruleset import OverrideAlgorithm, overrides_to_ruleset, ruleset_algorithm, ruleset_layers
 from .search import (
     Amendment,
@@ -549,19 +554,21 @@ def synthesize(
     def explore_current(mode: str, with_witnesses: bool = False):
         nonlocal explores
         explores += 1
-        if mode == "fsync" and base_table is not None:
-            # Delta-aware trial evaluation: only the rows touching a changed
-            # exact view are re-resolved, and the verdict is read off the
-            # derived functional graph — no transition-graph materialization.
-            return base_table.derive(assigned, amended).fsync_verdict(root_rows)
-        return explore(
-            algorithm=OverrideAlgorithm(base, assigned, amendments=amended),
-            roots=roots,
-            size=size,
-            mode=mode,
-            with_witnesses=with_witnesses,
-            kernel=explore_kernel,
-        )
+        _obs.counter("cegis.explores").inc()
+        with _span("cegis.verify", mode=mode):
+            if mode == "fsync" and base_table is not None:
+                # Delta-aware trial evaluation: only the rows touching a changed
+                # exact view are re-resolved, and the verdict is read off the
+                # derived functional graph — no transition-graph materialization.
+                return base_table.derive(assigned, amended).fsync_verdict(root_rows)
+            return explore(
+                algorithm=OverrideAlgorithm(base, assigned, amendments=amended),
+                roots=roots,
+                size=size,
+                mode=mode,
+                with_witnesses=with_witnesses,
+                kernel=explore_kernel,
+            )
 
     if resumed_base_census is not None:
         # The checkpoint already paid for the base exploration.
@@ -575,6 +582,7 @@ def synthesize(
                 algorithm=base, roots=roots, size=size, mode="fsync", with_witnesses=False
             )
         explores += 1
+        _obs.counter("cegis.explores").inc()
         base_census = dict(base_report.root_census)
         report = base_report if not (assigned or amended) else explore_current("fsync")
     say(f"base census: {base_census}")
@@ -619,6 +627,7 @@ def synthesize(
         additive_items, amend_items = split_decisions(chain, base, assigned)
         capacity = amend_capacity()
         if capacity is not None and len(amend_items) > capacity:
+            _obs.counter("cegis.chains_over_budget").inc()
             return 0  # over the override budget; the chain is indivisible
         for bitmask, direction in additive_items.items():
             assigned[bitmask] = direction
@@ -654,6 +663,10 @@ def synthesize(
                 # additive rule previously committed for the same view.
                 for bitmask in amend_items:
                     assigned.pop(bitmask, None)
+                _obs.counter("cegis.chains_accepted").inc()
+                _obs.counter("cegis.decisions_committed").inc(
+                    len(additive_items) + len(amend_items)
+                )
                 return len(additive_items) + len(amend_items)
         for bitmask in additive_items:
             del assigned[bitmask]
@@ -665,6 +678,7 @@ def synthesize(
         # Feed the refutation back to the chain search: the next proposal for
         # this counterexample must be a different chain, not this one again.
         refuted_chains.add(chain_signature(chain))
+        _obs.counter("cegis.chains_refuted").inc()
         return 0
 
     def run_fsync_loop() -> None:
@@ -677,23 +691,28 @@ def synthesize(
             terminals = _report_counterexamples(report, include_failures=amending)
             if not terminals:
                 break
-            chains, expansions = propose_chain_list(
-                terminals,
-                base,
-                assigned,
-                blocked,
-                base_name=base_name,
-                budget=chain_budget,
-                max_depth=max_depth,
-                branch=branch,
-                workers=workers,
-                amended=amended,
-                allow_amend=amending,
-                amend_branch=amend_branch,
-                refuted=refuted_chains,
-                kernel=kernel,
-            )
+            with _span("cegis.propose", counterexamples=len(terminals)):
+                chains, expansions = propose_chain_list(
+                    terminals,
+                    base,
+                    assigned,
+                    blocked,
+                    base_name=base_name,
+                    budget=chain_budget,
+                    max_depth=max_depth,
+                    branch=branch,
+                    workers=workers,
+                    amended=amended,
+                    allow_amend=amending,
+                    amend_branch=amend_branch,
+                    refuted=refuted_chains,
+                    kernel=kernel,
+                )
             candidates_evaluated += expansions
+            # Reconciles exactly with SynthesisResult.candidates_evaluated:
+            # both accumulate the same per-iteration expansion totals.
+            _obs.counter("cegis.candidates_tried").inc(expansions)
+            _obs.counter("cegis.chains_proposed").inc(len(chains))
             if not chains:
                 say(f"iteration {len(iterations)}: no repair chains found")
                 break
@@ -723,7 +742,8 @@ def synthesize(
                     continue  # identical chain proposed for another terminal
                 attempted.add(signature)
                 proposed += len(remaining)
-                committed += _commit_chain(remaining)
+                with _span("cegis.commit", decisions=len(remaining)):
+                    committed += _commit_chain(remaining)
             record = IterationRecord(
                 index=len(iterations),
                 counterexamples=len(terminals),
@@ -735,6 +755,11 @@ def synthesize(
                 seconds=round(time.perf_counter() - iteration_start, 3),
             )
             iterations.append(record)
+            _LOG.info(
+                "cegis iteration %d: %d counterexamples, committed %d/%d in %.3fs",
+                record.index, record.counterexamples, record.committed,
+                record.proposed, record.seconds,
+            )
             say(
                 f"iteration {record.index}: {record.counterexamples} counterexamples, "
                 f"proposed {record.proposed}, committed {record.committed}, "

@@ -34,6 +34,7 @@ workload in this repository.
 """
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..algorithms.guards import connectivity_safe
@@ -47,6 +48,7 @@ from ..core.engine import (
 )
 from ..core.runner import run_chunked_tasks
 from ..core.view import View
+from ..obs import metrics as _obs
 from ..grid.coords import Coord
 from ..grid.directions import Direction
 from ..grid.packing import pack_nodes, packed_count, unpack_nodes, view_bitmask
@@ -206,6 +208,24 @@ def simulate_outcome(
     targeted replay the scorer uses instead of a full exhaustive sweep: it
     touches exactly the states on this counterexample's path.
     """
+    replay_start = time.perf_counter()
+    try:
+        return _simulate_outcome(packed, algorithm, max_rounds)
+    finally:
+        # The replay phase of the CEGIS loop, aggregated as a histogram only
+        # (thousands of targeted replays per run; JSONL spans would drown
+        # the trace), matching the span naming convention.
+        _obs.counter("cegis.replays").inc()
+        _obs.histogram("span.cegis.replay.seconds").observe(
+            time.perf_counter() - replay_start
+        )
+
+
+def _simulate_outcome(
+    packed: int,
+    algorithm: GatheringAlgorithm,
+    max_rounds: int = SIMULATE_MAX_ROUNDS,
+) -> Tuple[str, int, int]:
     nodes = frozenset(unpack_nodes(packed))
     current = pack_nodes(nodes)
     seen = {current}
@@ -389,8 +409,14 @@ def _decode_direction(name: str) -> Optional[Direction]:
     return None if name == "STAY" else Direction[name]
 
 
-def _chain_chunk(payload: _ChainPayload) -> List[Tuple[Optional[Dict[int, str]], int]]:
-    """Worker entry point: run the chain search for one chunk of terminals."""
+def _chain_chunk(
+    payload: _ChainPayload,
+) -> Tuple[List[Tuple[Optional[Dict[int, str]], int]], Dict]:
+    """Worker entry point: run the chain search for one chunk of terminals.
+
+    Returns the encoded chains plus the worker registry's drained metrics
+    delta (:func:`repro.obs.metrics.export_delta`) for the parent to merge.
+    """
     (
         base_name,
         assigned_names,
@@ -430,7 +456,7 @@ def _chain_chunk(payload: _ChainPayload) -> List[Tuple[Optional[Dict[int, str]],
             else {bm: _encode_direction(d) for bm, d in chain.items()}
         )
         results.append((encoded, expansions))
-    return results
+    return results, _obs.export_delta()
 
 
 def propose_chains(
@@ -476,7 +502,8 @@ def propose_chains(
             chunk_size,
             (budget, max_depth, branch, allow_amend, amend_branch, kernel),
         )
-        for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
+        for chunk, delta in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
+            _obs.merge(delta)
             for encoded, expansions in chunk:
                 total_expansions += expansions
                 if encoded:
@@ -577,7 +604,8 @@ def propose_chain_list(
             (budget, max_depth, branch, allow_amend, amend_branch, kernel),
         )
         position = 0
-        for chunk in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
+        for chunk, delta in run_chunked_tasks(payloads, _chain_chunk, workers=workers):
+            _obs.merge(delta)
             for encoded, expansions in chunk:
                 total_expansions += expansions
                 if encoded:

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite.
+
+The session-scoped shared-memory guard catches leaked ``repro_tbl_*``
+segments from *any* test, not just the scale-out suite: a segment that
+survives the session is host-wide state (``/dev/shm`` outlives the
+process) and would poison every later run on the machine.
+"""
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_shared_memory_leak():
+    """Fail the session if any ``repro_tbl_*`` shared-memory segment leaks."""
+    before = set(glob.glob("/dev/shm/repro_tbl_*"))
+    yield
+    leaked = sorted(set(glob.glob("/dev/shm/repro_tbl_*")) - before)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"

@@ -36,6 +36,8 @@ _REQUIRED_DEFAULTS = {
     "table_sweep_warm_seconds": 1.0,
     "n8_table_sweep_seconds": 1.0,
     "parallel_sweep_seconds": 1.0,
+    "telemetry_overhead_seconds": 1.0,
+    "telemetry_overhead_disabled_seconds": 1.0,
     "table_fsync_build_seconds": 1.0,
     "table_fsync_build_warm_seconds": 1.0,
     "table_ssync_build_seconds": 1.0,

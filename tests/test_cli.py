@@ -257,3 +257,55 @@ def test_synth_cli_rejects_unreadable_seed_ruleset(tmp_path):
                 "--quiet",
             ]
         )
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "repro-gathering" in out
+    assert __version__.split(".")[0] in out  # metadata and source agree on major
+
+
+def test_telemetry_manifest_trace_and_run_id_correlation(tmp_path, capsys):
+    from repro import obs
+
+    telemetry = tmp_path / "telemetry.json"
+    trace = tmp_path / "trace.jsonl"
+    obs.export_delta()  # isolate this invocation's counts
+    assert (
+        main(
+            [
+                "sweep",
+                "--size",
+                "4",
+                "--max-rounds-grid",
+                "200",
+                "--telemetry",
+                str(telemetry),
+                "--trace",
+                str(trace),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    payload = json.loads(telemetry.read_text())
+    assert obs.validate_telemetry(payload) == []
+    manifest = payload["manifest"]
+    assert manifest["command"] == "sweep"
+    assert manifest["args"]["size"] == 4
+    assert manifest["exit_status"] == 0
+    assert manifest["wall_seconds"] >= manifest["cpu_seconds"] >= 0
+    # The snapshot reconciles with the ground truth: 44 connected
+    # four-robot configurations, each swept exactly once.
+    assert payload["metrics"]["counters"]["runner.configurations"] == 44
+    # Every trace record carries the manifest's run id.
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert records, "the sweep must emit at least the runner.batch span"
+    assert {record["run"] for record in records} == {manifest["run_id"]}
+    assert any(record["name"] == "runner.batch" for record in records)
