@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Serving quickstart: query the gathering service over HTTP and WebSocket.
+
+Boots the async query service on an ephemeral port (tables for n<=5 build in
+well under a second), then walks every endpoint with the bundled async
+client: verify one configuration, sweep a small batch through the vectorized
+table kernel, fetch the whole-space census and a witness trace, replay the
+execution round-by-round over the WebSocket stream, and finish with the
+telemetry snapshot that the requests just populated.
+
+Run with:  python examples/serve_quickstart.py
+"""
+import asyncio
+
+from repro.serve import GatheringService, ServeClient, ServerThread
+
+ALGORITHM = "shibata-visibility2"
+LINE4 = [[0, 0], [1, 0], [2, 0], [0, 1]]
+
+
+async def query(host: str, port: int) -> None:
+    async with ServeClient(host, port) as client:
+        health = await client.get("/healthz")
+        print(f"serving {health['algorithms']} at sizes {health['sizes']}")
+
+        verify = await client.post(
+            "/v1/verify", {"algorithm": ALGORITHM, "config": LINE4}
+        )
+        print(f"verify:  {verify['outcome']} in {verify['rounds']} rounds "
+              f"({verify['total_moves']} moves, request {verify['request_id']})")
+
+        sweep = await client.post(
+            "/v1/sweep",
+            {
+                "algorithm": ALGORITHM,
+                "configs": [LINE4, [[0, 0], [1, 0]], [[0, 0], [0, 1], [1, 0]]],
+                "max_rounds": 500,
+            },
+        )
+        print(f"sweep:   {sweep['census']} over {len(sweep['results'])} configs")
+
+        census = await client.get(f"/v1/census?algorithm={ALGORITHM}&size=5")
+        print(f"census:  n=5 -> {census['census']} ({census['roots']} roots)")
+
+        witness = await client.post(
+            "/v1/witness", {"algorithm": ALGORITHM, "config": LINE4}
+        )
+        print(f"witness: {len(witness['trace']['round_records'])} round records")
+
+        rounds = 0
+        async for message in client.stream({"algorithm": ALGORITHM, "config": LINE4}):
+            if message["type"] == "round":
+                rounds += 1
+            elif message["type"] == "done":
+                print(f"stream:  {rounds} rounds replayed, outcome {message['outcome']}")
+
+        telemetry = await client.get("/v1/telemetry")
+        counters = telemetry["metrics"]["counters"]
+        print(f"served:  {counters['serve.requests_total']} requests this session")
+
+
+def main() -> None:
+    service = GatheringService(algorithms=(ALGORITHM,), sizes=(2, 3, 4, 5))
+    with ServerThread(service) as base_url:
+        host, port = base_url.split("//")[1].rsplit(":", 1)
+        asyncio.run(query(host, int(port)))
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 from repro.analysis.census_pins import census_ok, census_regressions  # noqa: E402
 
 #: The benchmark artefacts the gate knows about.
-DEFAULT_NAMES = ("kernel", "explorer", "synth")
+DEFAULT_NAMES = ("kernel", "explorer", "synth", "serve")
 
 #: Keys every candidate artefact must record, whatever the baseline holds.
 #: The table-kernel timings are required so a change cannot silently stop
@@ -68,6 +68,7 @@ REQUIRED_TIMINGS = {
         "n8_ssync_build_seconds",
     ),
     "synth": ("recovery_candidates_per_second",),
+    "serve": ("serve_rps", "serve_p99_seconds"),
 }
 
 
@@ -88,22 +89,27 @@ def compare_timings(
     max_slowdown: float,
     min_seconds: float,
     ignore_timings: bool = False,
+    min_rps: float = 5.0,
 ) -> Tuple[List[str], List[str]]:
     """Compare two ``timings`` dicts; returns ``(report_lines, failures)``.
 
-    A gated key (a census or a ``*_seconds`` timing) present in the baseline
-    but absent from the candidate is a failure — a benchmark that stops
-    recording a pinned number must not silently clear the gate.  Keys new in
-    the candidate are informational.  With ``ignore_timings`` the slowdown
-    check is advisory (cross-machine wall-clock comparison is noise); the
-    census gate always holds.
+    A gated key (a census, a ``*_seconds`` timing or a ``*_rps`` throughput)
+    present in the baseline but absent from the candidate is a failure — a
+    benchmark that stops recording a pinned number must not silently clear
+    the gate.  Keys new in the candidate are informational.  ``*_rps`` keys
+    gate one-sidedly in the opposite direction of ``*_seconds``: only a
+    throughput *drop* beyond ``max_slowdown`` (and past the ``min_rps``
+    absolute noise floor) fails; a faster service always passes.  With
+    ``ignore_timings`` both checks are advisory (cross-machine wall-clock
+    comparison is noise); the census gate always holds.
     """
     lines: List[str] = []
     failures: List[str] = []
     for key in sorted(set(baseline) | set(candidate)):
         before, after = baseline.get(key), candidate.get(key)
         gated = _is_census(key, before) or (
-            key.endswith("_seconds") and isinstance(before, (int, float))
+            (key.endswith("_seconds") or key.endswith("_rps"))
+            and isinstance(before, (int, float))
         )
         if gated and key not in candidate:
             lines.append(f"  {key}: MISSING from candidate")
@@ -136,6 +142,26 @@ def compare_timings(
                     f"(+{ratio * 100:.0f}%, tolerance {max_slowdown * 100:.0f}%)"
                 )
             continue
+        if key.endswith("_rps") and isinstance(before, (int, float)) and isinstance(
+            after, (int, float)
+        ):
+            drop = before - after
+            ratio = (1.0 - after / before) if before else 0.0
+            breached = ratio > max_slowdown and drop > min_rps
+            failed = breached and not ignore_timings
+            if failed:
+                status = f"-{ratio * 100:.0f}% THROUGHPUT DROP"
+            elif breached:
+                status = f"-{ratio * 100:.0f}% throughput drop [advisory]"
+            else:
+                status = "ok"
+            lines.append(f"  {key}: {before:.1f}/s -> {after:.1f}/s [{status}]")
+            if failed:
+                failures.append(
+                    f"{key}: {before:.1f}/s -> {after:.1f}/s "
+                    f"(-{ratio * 100:.0f}%, tolerance {max_slowdown * 100:.0f}%)"
+                )
+            continue
         if before != after:
             lines.append(f"  {key}: {before!r} -> {after!r} [info]")
     return lines, failures
@@ -148,6 +174,7 @@ def compare_file(
     min_seconds: float,
     ignore_timings: bool = False,
     required: Sequence[str] = (),
+    min_rps: float = 5.0,
 ) -> Tuple[List[str], List[str]]:
     """Compare one BENCH JSON pair; missing files are failures."""
     baseline = _load(baseline_path)
@@ -163,6 +190,7 @@ def compare_file(
         max_slowdown,
         min_seconds,
         ignore_timings,
+        min_rps=min_rps,
     )
     for key in required:
         if key not in candidate_timings:
@@ -206,6 +234,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="ignore absolute slowdowns below this many seconds (noise floor)",
     )
     parser.add_argument(
+        "--min-rps",
+        type=float,
+        default=5.0,
+        help="ignore absolute throughput drops below this many requests/sec "
+        "(noise floor for *_rps keys)",
+    )
+    parser.add_argument(
         "--ignore-timings",
         action="store_true",
         help="report slowdowns as advisory instead of failing (use when the "
@@ -223,6 +258,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.min_seconds,
             args.ignore_timings,
             required=REQUIRED_TIMINGS.get(name, ()),
+            min_rps=args.min_rps,
         )
         print(f"{filename}:")
         for line in lines:

@@ -78,7 +78,7 @@ from .synth import (
     synthesize,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

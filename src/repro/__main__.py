@@ -1,0 +1,7 @@
+"""``python -m repro`` — the same CLI as ``repro-gathering`` / ``python -m repro.cli``."""
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,13 @@ Subcommands
     the won-root regression gate); ``--seed-ruleset`` starts from an
     existing rule set instead of from scratch.
 
+``serve``
+    Start the persistent gathering service: an asyncio HTTP + WebSocket API
+    (:mod:`repro.serve`) that builds the successor tables once at startup
+    and answers ``/v1/verify``, ``/v1/sweep``, ``/v1/census``,
+    ``/v1/witness`` and ``/v1/stream`` queries from them — multiple
+    ``--workers`` attach to one shared-memory copy of the tables.
+
 Every subcommand documents its exit codes in ``--help``; JSON-producing
 subcommands accept ``--output FILE`` so machine-readable reports never
 interleave with progress text on stdout.
@@ -391,6 +398,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-iteration progress lines"
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="persistent async query service over precomputed successor tables",
+        epilog="exit codes: 0 clean shutdown (SIGTERM/SIGINT drained), "
+        "1 startup failed",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=8123, help="TCP port (default 8123; 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names to load tables for "
+        "(default: shibata-visibility2 and its synthesized repair)",
+    )
+    p_serve.add_argument(
+        "--sizes",
+        default=None,
+        help="robot counts to preload, as a range or list: '2-7' or '2,3,7' "
+        "(default 2-7)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="server processes sharing the port via SO_REUSEPORT; tables are "
+        "built once and published through shared memory (default 1)",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="micro-batching window: concurrent verify/sweep requests arriving "
+        "within this window share one vectorized gather (default 0.002)",
+    )
+    p_serve.add_argument(
+        "--table-cache",
+        default=None,
+        metavar="DIR",
+        help="directory of save_tables/load_tables .npz round-trips; warm "
+        "starts load arrays instead of rebuilding (also: REPRO_TABLE_CACHE)",
+    )
+
     return parser
 
 
@@ -614,6 +667,77 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sizes(spec: Optional[str]) -> tuple:
+    """Parse a ``--sizes`` spec: ``'2-7'``, ``'2,3,7'`` or a mix of both."""
+    if spec is None:
+        from .serve import DEFAULT_SIZES
+
+        return DEFAULT_SIZES
+    sizes = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            if "-" in part:
+                low, high = part.split("-", 1)
+                sizes.extend(range(int(low), int(high) + 1))
+            else:
+                sizes.append(int(part))
+        except ValueError:
+            raise SystemExit(f"cannot parse --sizes {spec!r}: bad part {part!r}")
+    if not sizes or any(s < 1 for s in sizes):
+        raise SystemExit(f"--sizes {spec!r} must name positive robot counts")
+    return tuple(sorted(set(sizes)))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import DEFAULT_ALGORITHMS, GatheringService, serve_forever
+
+    if args.algorithms is None:
+        algorithms = DEFAULT_ALGORITHMS
+    else:
+        algorithms = tuple(
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        )
+        unknown = [name for name in algorithms if name not in available_algorithms()]
+        if unknown:
+            raise SystemExit(
+                f"unknown algorithms: {unknown}; available: {available_algorithms()}"
+            )
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.workers > 1 and args.port == 0:
+        raise SystemExit("--workers > 1 needs a fixed --port (SO_REUSEPORT)")
+    service = GatheringService(
+        algorithms=algorithms,
+        sizes=_parse_sizes(args.sizes),
+        batch_window=args.batch_window,
+        publish=args.workers > 1,
+        table_cache=args.table_cache,
+    )
+
+    def ready(port: int) -> None:
+        # The line tests and the CI smoke job wait for; flushed so pipes see it.
+        print(f"serving on http://{args.host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            serve_forever(
+                service,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal handlers usually win
+        pass
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the console script and ``python -m repro.cli``."""
     parser = build_parser()
@@ -626,6 +750,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "explore": _cmd_explore,
         "synth": _cmd_synth,
+        "serve": _cmd_serve,
     }
     new_run_id()  # one run id per invocation, correlating logs/spans/manifest
     if args.log_level or args.log_json:

@@ -21,14 +21,20 @@ from __future__ import annotations
 import uuid
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..obs import event as _obs_event
 from ..obs import get_logger
 from ..obs import metrics as _obs
-from .table_kernel import SuccessorTable, ViewTable, register_view_table
+from .table_kernel import (
+    SUCC_ARRAY_FIELDS,
+    VIEW_ARRAY_FIELDS,
+    SuccessorTable,
+    ViewTable,
+    register_view_table,
+)
 
 _LOG = get_logger("core.shared_tables")
 
@@ -44,26 +50,11 @@ __all__ = [
 
 #: Field layout of one shared table: the :class:`ViewTable` arrays first,
 #: then the :class:`SuccessorTable` arrays.  Order is the serialization
-#: order; names match the attribute names on the two classes.
-_VIEW_FIELDS = (
-    "positions",
-    "views",
-    "unique_views",
-    "view_slot",
-    "_rows_by_slot",
-    "_slot_bounds",
-    "diameters",
-    "gathered",
-)
-_SUCC_FIELDS = (
-    "codes",
-    "move_code",
-    "mover_bits",
-    "mover_count",
-    "kind",
-    "succ",
-    "collision_code",
-)
+#: order; names match the attribute names on the two classes.  The canonical
+#: tuples live in the table kernel, shared with the on-disk ``.npz``
+#: round-trip (:func:`repro.core.table_kernel.save_tables`).
+_VIEW_FIELDS = VIEW_ARRAY_FIELDS
+_SUCC_FIELDS = SUCC_ARRAY_FIELDS
 
 #: One array's placement inside the segment: (field, shape, dtype str, offset).
 _ArraySpec = Tuple[str, Tuple[int, ...], str, int]
@@ -251,14 +242,35 @@ def unpublish_table(handle: SharedTableHandle) -> None:
 def detach_all() -> None:
     """Drop every attachment this process holds (tests / explicit teardown).
 
-    Attached tables may be registered on algorithm instances; callers that
-    detach should also :func:`~repro.core.table_kernel.clear_table_caches`
-    those instances before touching the tables again.
+    Closing a mapping invalidates every array view into it, so any table
+    the attach path registered — on the per-process worker-algorithm
+    singletons or in the global view-table registry — is evicted here too;
+    the next :func:`~repro.core.table_kernel.successor_table` call rebuilds
+    from scratch instead of dereferencing unmapped pages.
     """
+    detached: List[SuccessorTable] = []
     while _ATTACHED:
-        _, (segment, _) = _ATTACHED.popitem()
+        _, (segment, table) = _ATTACHED.popitem()
+        detached.append(table)
         segment.close()
+    if detached:
+        _evict_registrations(detached)
     _obs.gauge("shm.attached_segments").set(0)
+
+
+def _evict_registrations(tables: List[SuccessorTable]) -> None:
+    from .runner import _WORKER_ALGORITHMS  # late: avoids an import cycle
+    from .table_kernel import _VIEW_TABLES
+
+    table_ids = {id(table) for table in tables}
+    view_ids = {id(table.view) for table in tables}
+    for algorithm in _WORKER_ALGORITHMS.values():
+        memo = getattr(algorithm, "_successor_tables", None)
+        if memo:
+            for size in [s for s, t in memo.items() if id(t) in table_ids]:
+                del memo[size]
+    for key in [k for k, v in _VIEW_TABLES.items() if id(v) in view_ids]:
+        del _VIEW_TABLES[key]
 
 
 def attached_segments() -> Tuple[str, ...]:

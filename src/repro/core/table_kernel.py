@@ -88,6 +88,11 @@ __all__ = [
     "register_view_table",
     "clear_table_caches",
     "successor_table",
+    "VIEW_ARRAY_FIELDS",
+    "SUCC_ARRAY_FIELDS",
+    "table_cache_file",
+    "save_tables",
+    "load_tables",
 ]
 
 #: The paper's own scope (and the size where the gathering predicate switches
@@ -1376,6 +1381,7 @@ def successor_table(
     workers: int = 1,
     pool=None,
     algorithm_name: Optional[str] = None,
+    disk_cache: Optional[str] = None,
 ) -> SuccessorTable:
     """The memoized successor table of ``algorithm`` over the ``size`` space.
 
@@ -1390,6 +1396,12 @@ def successor_table(
     ``workers`` / ``pool`` / ``algorithm_name`` parallelize a cold build's
     Compute phase (see :meth:`SuccessorTable.build`); they are ignored when
     the table is already memoized or derived.
+
+    ``disk_cache`` (or the ``REPRO_TABLE_CACHE`` environment variable when
+    the argument is omitted) points at a directory of
+    :func:`save_tables`/:func:`load_tables` round-trips: a cold call loads
+    the arrays from disk instead of rebuilding, and a genuine build is saved
+    back — the warm-CI path behind the service's ``--table-cache`` flag.
     """
     tables = getattr(algorithm, "_successor_tables", None)
     if tables is None:
@@ -1397,15 +1409,186 @@ def successor_table(
         algorithm._successor_tables = tables  # type: ignore[attr-defined]
     table = tables.get(size)
     if table is None:
-        layers = getattr(algorithm, "table_kernel_layers", None)
-        if layers is not None:
-            base, overrides, amendments = layers
-            table = successor_table(
-                base, size, workers=workers, pool=pool, algorithm_name=None
-            ).derive(overrides, amendments)
-        else:
-            table = SuccessorTable.build(
-                algorithm, size, workers=workers, pool=pool, algorithm_name=algorithm_name
-            )
+        cache_dir = disk_cache if disk_cache is not None else os.environ.get(_TABLE_CACHE_ENV)
+        if cache_dir:
+            table = load_tables(algorithm, size, cache_dir)
+        loaded = table is not None
+        if table is None:
+            layers = getattr(algorithm, "table_kernel_layers", None)
+            if layers is not None:
+                base, overrides, amendments = layers
+                table = successor_table(
+                    base, size, workers=workers, pool=pool, algorithm_name=None,
+                    disk_cache=disk_cache,
+                ).derive(overrides, amendments)
+            else:
+                table = SuccessorTable.build(
+                    algorithm, size, workers=workers, pool=pool, algorithm_name=algorithm_name
+                )
         tables[size] = table
+        if cache_dir and not loaded:
+            save_tables(algorithm, cache_dir, sizes=(size,))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Disk round-trip of built tables (the CI actions/cache path).
+# ---------------------------------------------------------------------------
+
+#: Environment variable naming the default on-disk table cache directory.
+_TABLE_CACHE_ENV = "REPRO_TABLE_CACHE"
+
+#: Bumped whenever the array layout below changes; mismatched files are
+#: ignored (the cache is an optimization, never a source of truth).
+TABLE_CACHE_FORMAT = 1
+
+#: Serialized array fields, in file order: the :class:`ViewTable` arrays
+#: first, then the :class:`SuccessorTable` arrays.  Shared with the
+#: shared-memory publisher (:mod:`repro.core.shared_tables`), which ships the
+#: same arrays through a segment instead of a file.
+VIEW_ARRAY_FIELDS = (
+    "positions",
+    "views",
+    "unique_views",
+    "view_slot",
+    "_rows_by_slot",
+    "_slot_bounds",
+    "diameters",
+    "gathered",
+)
+SUCC_ARRAY_FIELDS = (
+    "codes",
+    "move_code",
+    "mover_bits",
+    "mover_count",
+    "kind",
+    "succ",
+    "collision_code",
+)
+
+
+def table_cache_file(cache_dir: str, algorithm: GatheringAlgorithm, size: int) -> str:
+    """Cache path of one (algorithm fingerprint, size) table.
+
+    The file name embeds :func:`repro.core.decision_cache.cache_key` — the
+    digest of (registry name, package version, data fingerprint) — so a
+    release bump or a changed rule set can never adopt stale arrays; CI keys
+    its ``actions/cache`` entry on the same inputs.
+    """
+    from .decision_cache import cache_key  # late: avoids an import cycle
+
+    return os.path.join(cache_dir, f"table-{cache_key(algorithm)}-n{size}.npz")
+
+
+def save_tables(
+    algorithm: GatheringAlgorithm,
+    cache_dir: str,
+    sizes: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Persist the algorithm's memoized tables as ``.npz`` files (atomically).
+
+    Saves every memoized size (or just ``sizes``); returns the file paths.
+    Derived tables serialize like built ones — the arrays are complete either
+    way, only the in-memory sharing with the base lineage is lost.
+    """
+    import json as _json
+
+    tables = getattr(algorithm, "_successor_tables", None) or {}
+    wanted = set(int(s) for s in sizes) if sizes is not None else None
+    written: List[str] = []
+    for size, table in sorted(tables.items()):
+        if wanted is not None and size not in wanted:
+            continue
+        os.makedirs(cache_dir, exist_ok=True)
+        path = table_cache_file(cache_dir, algorithm, size)
+        meta = {
+            "format": TABLE_CACHE_FORMAT,
+            "size": size,
+            "visibility_range": table.view.visibility_range,
+            "rows": int(table.view.count),
+        }
+        arrays: Dict[str, "np.ndarray"] = {
+            f"view_{field}": np.ascontiguousarray(getattr(table.view, field))
+            for field in VIEW_ARRAY_FIELDS
+        }
+        arrays.update(
+            {
+                f"succ_{field}": np.ascontiguousarray(getattr(table, field))
+                for field in SUCC_ARRAY_FIELDS
+            }
+        )
+        arrays["meta"] = np.frombuffer(
+            _json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(temporary, path)
+        written.append(path)
+        _obs.counter("table.disk_cache_saves").inc()
+    return written
+
+
+def load_tables(
+    algorithm: GatheringAlgorithm, size: int, cache_dir: str
+) -> Optional[SuccessorTable]:
+    """Rehydrate one table from :func:`save_tables` output, or ``None``.
+
+    Any problem — missing file, torn write, layout or metadata mismatch —
+    returns ``None`` so the caller rebuilds; the cache can slow a cold start
+    down to a rebuild but never change an answer.  The loaded view table is
+    registered process-wide (like a shared-memory attach); memoizing the
+    returned table on the algorithm instance is the caller's job
+    (:func:`successor_table` does it).
+    """
+    import json as _json
+
+    path = table_cache_file(cache_dir, algorithm, size)
+    load_start = time.perf_counter()
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = _json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+            if (
+                meta.get("format") != TABLE_CACHE_FORMAT
+                or meta.get("size") != size
+                or meta.get("visibility_range") != algorithm.visibility_range
+            ):
+                _obs.counter("table.disk_cache_misses").inc()
+                return None
+            fields = {
+                f"view_{field}": archive[f"view_{field}"] for field in VIEW_ARRAY_FIELDS
+            }
+            fields.update(
+                {f"succ_{field}": archive[f"succ_{field}"] for field in SUCC_ARRAY_FIELDS}
+            )
+    except (OSError, KeyError, ValueError):
+        _obs.counter("table.disk_cache_misses").inc()
+        return None
+    vt = ViewTable._from_arrays(
+        size,
+        int(meta["visibility_range"]),
+        positions=fields["view_positions"],
+        views=fields["view_views"],
+        unique_views=fields["view_unique_views"],
+        view_slot=fields["view_view_slot"],
+        rows_by_slot=fields["view__rows_by_slot"],
+        slot_bounds=fields["view__slot_bounds"],
+        diameters=fields["view_diameters"],
+        gathered=fields["view_gathered"],
+    )
+    vt = register_view_table(vt)
+    table = SuccessorTable(
+        view=vt,
+        codes=fields["succ_codes"],
+        move_code=fields["succ_move_code"],
+        mover_bits=fields["succ_mover_bits"],
+        mover_count=fields["succ_mover_count"],
+        kind=fields["succ_kind"],
+        succ=fields["succ_succ"],
+        collision_code=fields["succ_collision_code"],
+    )
+    _obs.counter("table.disk_cache_hits").inc()
+    _obs_record_span(
+        "table.disk_load", time.perf_counter() - load_start, size=size, rows=meta["rows"]
+    )
     return table

@@ -1,0 +1,148 @@
+"""An ASGI 3 adapter over the gathering service (the ``[serve]`` extra path).
+
+The stdlib asyncio server of :mod:`repro.serve.http` is the default
+deployment; this module exposes the *same* service (same parsing, same
+handlers, same payload bytes) as an ASGI application for uvicorn-style
+production servers::
+
+    pip install 'repro-gathering[serve]'
+    uvicorn --factory repro.serve.asgi:create_app --port 8123
+
+The adapter itself imports nothing beyond the standard library — uvicorn is
+only needed to *host* it, so the test suite exercises the app with an
+in-process scope/receive/send harness and no extra dependency.
+"""
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from .http import GatheringServer, Request, _dump
+from .protocol import ProtocolError, parse_verify
+from .service import GatheringService
+
+__all__ = ["create_app", "create_asgi_app"]
+
+
+def create_app(service: Optional[GatheringService] = None) -> Callable:
+    """Build the ASGI application (``uvicorn --factory repro.serve.asgi:create_app``)."""
+    owned = service or GatheringService()
+    # Dispatch through the same router the stdlib server uses: one source of
+    # truth for routes, schemas and error payloads.
+    router = GatheringServer(owned)
+
+    async def app(scope: Dict[str, Any], receive: Callable, send: Callable) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    owned.startup()
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    owned.shutdown()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        elif scope["type"] == "http":
+            owned.startup()  # idempotent: hosts without lifespan support
+            await _handle_http(router, scope, receive, send)
+        elif scope["type"] == "websocket":
+            owned.startup()
+            await _handle_websocket(owned, scope, receive, send)
+        else:  # pragma: no cover - servers only send the three scope types
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+
+    return app
+
+
+#: Back-compat alias matching the module docstring of early drafts.
+create_asgi_app = create_app
+
+
+async def _read_body(receive: Callable) -> bytes:
+    body = b""
+    while True:
+        message = await receive()
+        if message["type"] == "http.disconnect":
+            return body
+        body += message.get("body", b"")
+        if not message.get("more_body", False):
+            return body
+
+
+async def _handle_http(
+    router: GatheringServer, scope: Dict[str, Any], receive: Callable, send: Callable
+) -> None:
+    import urllib.parse
+    import uuid
+
+    headers = {
+        name.decode("latin-1").lower(): value.decode("latin-1")
+        for name, value in scope.get("headers", [])
+    }
+    request = Request(
+        method=scope["method"].upper(),
+        path=scope["path"],
+        query=dict(
+            urllib.parse.parse_qsl(scope.get("query_string", b"").decode("latin-1"))
+        ),
+        headers=headers,
+        body=await _read_body(receive),
+        request_id=headers.get("x-request-id") or uuid.uuid4().hex[:12],
+    )
+    try:
+        status, payload, content_type = await router._dispatch(request)
+    except ProtocolError as exc:
+        status = exc.status
+        payload, content_type = exc.payload(request.request_id), "application/json"
+    body = payload if isinstance(payload, bytes) else _dump(payload)
+    await send(
+        {
+            "type": "http.response.start",
+            "status": status,
+            "headers": [
+                (b"content-type", content_type.encode("latin-1")),
+                (b"content-length", str(len(body)).encode("latin-1")),
+                (b"x-request-id", request.request_id.encode("latin-1")),
+            ],
+        }
+    )
+    await send({"type": "http.response.body", "body": body})
+
+
+async def _handle_websocket(
+    service: GatheringService, scope: Dict[str, Any], receive: Callable, send: Callable
+) -> None:
+    import uuid
+
+    if scope["path"] != "/v1/stream":
+        await send({"type": "websocket.close", "code": 4404})
+        return
+    message = await receive()
+    if message["type"] != "websocket.connect":
+        return
+    await send({"type": "websocket.accept"})
+    message = await receive()
+    if message["type"] != "websocket.receive":
+        await send({"type": "websocket.close", "code": 1000})
+        return
+    request_id = uuid.uuid4().hex[:12]
+    try:
+        payload = json.loads(message.get("text") or message.get("bytes", b""))
+        messages = service.stream_messages(parse_verify(payload), request_id)
+    except (ValueError, ProtocolError) as exc:
+        error = (
+            exc.payload(request_id)
+            if isinstance(exc, ProtocolError)
+            else {"error": {"status": 400, "message": str(exc)}}
+        )
+        error["type"] = "error"
+        await send(
+            {"type": "websocket.send", "text": _dump(error).decode("utf-8").rstrip("\n")}
+        )
+        await send({"type": "websocket.close", "code": 1008})
+        return
+    for item in messages:
+        await send(
+            {"type": "websocket.send", "text": _dump(item).decode("utf-8").rstrip("\n")}
+        )
+    await send({"type": "websocket.close", "code": 1000})

@@ -1,0 +1,267 @@
+"""An asyncio client for the gathering service, plus the load generator.
+
+:class:`ServeClient` speaks the same stdlib HTTP/1.1 + WebSocket dialect the
+server does, over one keep-alive connection — it is what the tests, the
+documented README snippets and the CI smoke job drive the service with.
+:func:`run_load` is the in-repo async load generator behind
+``BENCH_serve.json``: ``connections`` concurrent keep-alive clients each
+issue a stream of ``/v1/verify`` requests and the aggregate reports
+requests/sec plus p50/p99 latency quantiles.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple
+
+from . import websocket as ws
+
+__all__ = ["ServeClient", "ServeError", "LoadResult", "run_load"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One keep-alive connection to a running gathering service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8123):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = None
+        self._writer = None
+
+    # ------------------------------------------------------------------ HTTP
+    async def request_bytes(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One request over the keep-alive connection; raw response body."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        response_headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", 0))
+        response_body = await self._reader.readexactly(length) if length else b""
+        if response_headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, response_body, response_headers
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
+        """One request; decodes JSON and raises :class:`ServeError` on non-2xx."""
+        status, body, _headers = await self.request_bytes(
+            method, path, payload, headers
+        )
+        decoded = json.loads(body.decode("utf-8")) if body else {}
+        if status >= 300:
+            raise ServeError(status, decoded)
+        return decoded
+
+    async def get(self, path: str) -> Dict[str, Any]:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: Any) -> Dict[str, Any]:
+        return await self.request("POST", path, payload)
+
+    # ------------------------------------------------------------- websocket
+    async def stream(self, payload: Any) -> AsyncIterator[Dict[str, Any]]:
+        """Drive ``/v1/stream``: yields every JSON message until close.
+
+        Uses a dedicated connection (the upgrade consumes it), so it works
+        alongside in-flight keep-alive requests on this client.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            key = "cmVwcm8tZ2F0aGVyaW5nLXdz"  # static 16-byte key, base64
+            writer.write(
+                (
+                    f"GET /v1/stream HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            if b"101" not in status_line:
+                raise ServeError(400, f"websocket handshake refused: {status_line!r}")
+            accept = None
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = raw.decode("latin-1").partition(":")
+                if name.strip().lower() == "sec-websocket-accept":
+                    accept = value.strip()
+            if accept != ws.accept_key(key):
+                raise ServeError(400, "bad Sec-WebSocket-Accept")
+            writer.write(
+                ws.encode_frame(
+                    ws.OP_TEXT, json.dumps(payload).encode("utf-8"), mask=True
+                )
+            )
+            await writer.drain()
+            while True:
+                frame = await ws.read_frame(reader)
+                if frame is None or frame[0] == ws.OP_CLOSE:
+                    break
+                if frame[0] == ws.OP_PING:
+                    writer.write(ws.encode_frame(ws.OP_PONG, frame[1], mask=True))
+                    await writer.drain()
+                    continue
+                if frame[0] == ws.OP_TEXT:
+                    yield json.loads(frame[1].decode("utf-8"))
+            writer.write(ws.encode_frame(ws.OP_CLOSE, b"", mask=True))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# The in-repo async load generator (BENCH_serve.json).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Aggregate of one load run; the serve benchmark's timing source."""
+
+    requests: int
+    errors: int
+    seconds: float
+    rps: float
+    p50_seconds: float
+    p99_seconds: float
+    mean_seconds: float
+
+    def timings(self) -> Dict[str, float]:
+        """The ``BENCH_serve.json`` keys gated by ``scripts/bench_compare.py``."""
+        return {
+            "serve_rps": self.rps,
+            "serve_p50_seconds": self.p50_seconds,
+            "serve_p99_seconds": self.p99_seconds,
+            "serve_requests": float(self.requests),
+        }
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+async def run_load(
+    host: str,
+    port: int,
+    payloads: Callable[[int], Any],
+    connections: int = 8,
+    requests_per_connection: int = 100,
+    path: str = "/v1/verify",
+) -> LoadResult:
+    """Drive the service with concurrent keep-alive clients, measure latency.
+
+    ``payloads(i)`` supplies the JSON body of the ``i``-th request overall,
+    so the caller controls the root mix (and hence batch/cache behaviour).
+    Per-request latency is wall time from write to fully-read response on
+    that connection; rps is total completed requests over the whole run's
+    wall time (concurrency included, like any external load tool would see).
+    """
+    loop = asyncio.get_running_loop()
+    latencies: List[float] = []
+    errors = 0
+
+    async def one_connection(connection_index: int) -> None:
+        nonlocal errors
+        async with ServeClient(host, port) as client:
+            for j in range(requests_per_connection):
+                i = connection_index * requests_per_connection + j
+                started = loop.time()
+                try:
+                    await client.post(path, payloads(i))
+                except (ServeError, ConnectionError, OSError):
+                    errors += 1
+                    continue
+                latencies.append(loop.time() - started)
+
+    run_started = loop.time()
+    await asyncio.gather(*(one_connection(c) for c in range(connections)))
+    seconds = loop.time() - run_started
+    latencies.sort()
+    total = len(latencies)
+    return LoadResult(
+        requests=total,
+        errors=errors,
+        seconds=seconds,
+        rps=total / seconds if seconds > 0 else 0.0,
+        p50_seconds=_quantile(latencies, 0.50),
+        p99_seconds=_quantile(latencies, 0.99),
+        mean_seconds=sum(latencies) / total if total else 0.0,
+    )

@@ -1,0 +1,86 @@
+"""A minimal RFC 6455 WebSocket codec (stdlib only).
+
+Covers exactly what ``/v1/stream`` needs: the opening-handshake accept key,
+single-frame text messages, ping/pong and close — no fragmentation, no
+extensions, no compression.  The server sends unmasked frames, the client
+masks (both as the RFC mandates); both sides share this codec so the tests
+exercise the same bytes the documented snippets do.
+"""
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from asyncio import IncompleteReadError, StreamReader
+from typing import Optional, Tuple
+
+__all__ = [
+    "GUID",
+    "OP_TEXT",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "accept_key",
+    "encode_frame",
+    "read_frame",
+]
+
+#: The protocol-fixed handshake GUID of RFC 6455 §1.3.
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Refuse frames beyond this payload size (the service streams small JSON).
+MAX_FRAME_BYTES = 1 << 22
+
+
+def accept_key(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One final (FIN=1) frame; ``mask=True`` is the client side."""
+    header = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+async def read_frame(reader: StreamReader) -> Optional[Tuple[int, bytes]]:
+    """The next ``(opcode, payload)`` frame, or ``None`` on a closed stream."""
+    try:
+        first, second = await reader.readexactly(2)
+    except (IncompleteReadError, ConnectionError):
+        return None
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"websocket frame of {length} bytes exceeds the limit")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

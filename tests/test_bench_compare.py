@@ -45,6 +45,8 @@ _REQUIRED_DEFAULTS = {
     "n8_fsync_build_seconds": 1.0,
     "n8_ssync_build_seconds": 1.0,
     "recovery_candidates_per_second": 50.0,
+    "serve_rps": 1000.0,
+    "serve_p99_seconds": 0.01,
 }
 
 
@@ -200,6 +202,59 @@ def test_ignore_timings_is_advisory_but_census_still_gates(bench_compare, tmp_pa
     assert bench_compare.main(args + ["--ignore-timings"]) == 0
     _write(candidate, "kernel", {"sweep_seconds": 9.0, "c_census": {"safe": 4, "deadlock": 1}})
     assert bench_compare.main(args + ["--ignore-timings"]) == 1
+
+
+def test_throughput_drop_beyond_tolerance_fails(bench_compare, tmp_path):
+    """``*_rps`` keys gate one-sidedly: only a drop fails."""
+    baseline, candidate = tmp_path / "a", tmp_path / "b"
+    baseline.mkdir(), candidate.mkdir()
+    _write(baseline, "serve", {"serve_rps": 1000.0})
+    _write(candidate, "serve", {"serve_rps": 600.0})
+    args = ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate), "--names", "serve"]
+    assert bench_compare.main(args) == 1
+    # advisory under --ignore-timings (cross-machine comparison)
+    assert bench_compare.main(args + ["--ignore-timings"]) == 0
+
+
+def test_throughput_improvement_and_small_drops_pass(bench_compare, tmp_path):
+    baseline, candidate = tmp_path / "a", tmp_path / "b"
+    baseline.mkdir(), candidate.mkdir()
+    args = ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate), "--names", "serve"]
+    # 2x faster passes (one-sided gate)
+    _write(baseline, "serve", {"serve_rps": 1000.0})
+    _write(candidate, "serve", {"serve_rps": 2000.0})
+    assert bench_compare.main(args) == 0
+    # a drop within the 25% tolerance passes
+    _write(candidate, "serve", {"serve_rps": 800.0})
+    assert bench_compare.main(args) == 0
+    # a huge relative drop below the absolute noise floor passes
+    _write(baseline, "serve", {"serve_rps": 8.0})
+    _write(candidate, "serve", {"serve_rps": 4.0})
+    assert bench_compare.main(args) == 0
+
+
+def test_serve_required_keys_and_p99_gate(bench_compare, tmp_path):
+    """The serve artefact must record rps + p99; p99 gates like any timing."""
+    baseline, candidate = tmp_path / "a", tmp_path / "b"
+    baseline.mkdir(), candidate.mkdir()
+    args = ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate), "--names", "serve"]
+    _write(baseline, "serve", {"serve_rps": 1000.0}, required=False)
+    _write(candidate, "serve", {"serve_rps": 1000.0}, required=False)
+    assert bench_compare.main(args) == 1  # serve_p99_seconds missing
+    _write(baseline, "serve", {"serve_rps": 1000.0, "serve_p99_seconds": 0.1})
+    _write(candidate, "serve", {"serve_rps": 1000.0, "serve_p99_seconds": 0.3})
+    assert bench_compare.main(args) == 1  # p99 tripled past the noise floor
+
+
+def test_disappearing_rps_key_fails(bench_compare, tmp_path):
+    baseline, candidate = tmp_path / "a", tmp_path / "b"
+    baseline.mkdir(), candidate.mkdir()
+    _write(baseline, "serve", {"extra_rps": 500.0})
+    _write(candidate, "serve", {})
+    code = bench_compare.main(
+        ["--baseline-dir", str(baseline), "--candidate-dir", str(candidate), "--names", "serve"]
+    )
+    assert code == 1
 
 
 def test_missing_candidate_fails(bench_compare, tmp_path):

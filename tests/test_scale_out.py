@@ -173,6 +173,32 @@ def test_shared_table_publish_attach_roundtrip():
     _assert_no_shm_leak()
 
 
+def test_detach_all_evicts_registered_tables():
+    # Attaching registers the shm-backed table on the worker-algorithm
+    # singleton; detach_all must evict it, or the next successor_table call
+    # in this process dereferences unmapped pages (segfault, not exception).
+    from repro.core.runner import worker_algorithm
+
+    clear_table_caches()
+    algorithm = ShibataGatheringAlgorithm()
+    table = successor_table(algorithm, 5)
+    handle = publish_table(table, "shibata-visibility2")
+    try:
+        attach_table(handle)
+        singleton = worker_algorithm("shibata-visibility2")
+        assert 5 in singleton._successor_tables
+        detach_all()
+        assert 5 not in singleton._successor_tables
+        # A rebuild after detaching answers from fresh heap-backed arrays.
+        rebuilt = successor_table(worker_algorithm("shibata-visibility2"), 5)
+        assert rebuilt.fsync_summary() is not None
+    finally:
+        detach_all()
+        unpublish_table(handle)
+        clear_table_caches(algorithm)
+    _assert_no_shm_leak()
+
+
 def test_parallel_table_sweep_matches_serial_and_cleans_up():
     clear_table_caches()
     configurations = enumerate_canonical_node_sets(8)[::16]

@@ -1,0 +1,134 @@
+"""The successor-table disk cache: the ``actions/cache`` warm-start path.
+
+``save_tables``/``load_tables`` round-trip the exact arrays the shared-memory
+publisher ships, keyed by the algorithm's cache fingerprint (name + package
+version + rule-set digest) and size — so a warm CI job skips the build while
+a release bump or a changed rule set silently rebuilds instead of adopting
+stale arrays.
+"""
+from __future__ import annotations
+
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.algorithms import create_algorithm
+from repro.core.decision_cache import cache_key
+from repro.core.table_kernel import (
+    load_tables,
+    save_tables,
+    successor_table,
+    table_cache_file,
+)
+from repro.obs import metrics
+
+ALGORITHM = "shibata-visibility2"
+SIZE = 5
+
+
+def _fresh_algorithm():
+    return create_algorithm(ALGORITHM)
+
+
+def _assert_tables_identical(left, right):
+    assert np.array_equal(left.succ, right.succ)
+    assert np.array_equal(left.codes, right.codes)
+    assert np.array_equal(left.kind, right.kind)
+    assert np.array_equal(left.mover_bits, right.mover_bits)
+    assert np.array_equal(left.view.positions, right.view.positions)
+    assert np.array_equal(left.view.views, right.view.views)
+    assert left.view.visibility_range == right.view.visibility_range
+
+
+def test_round_trip_is_byte_identical(tmp_path):
+    cache_dir = str(tmp_path)
+    built = successor_table(_fresh_algorithm(), SIZE, disk_cache=cache_dir)
+    path = table_cache_file(cache_dir, _fresh_algorithm(), SIZE)
+    assert os.path.exists(path)
+
+    builds_before = metrics.counter("table.view_builds").value
+    loaded_table = successor_table(_fresh_algorithm(), SIZE, disk_cache=cache_dir)
+    assert metrics.counter("table.view_builds").value == builds_before  # no rebuild
+    _assert_tables_identical(built, loaded_table)
+
+    # the loaded table answers the whole-space verdict identically
+    rows = np.arange(built.view.count)
+    assert built.fsync_verdict(rows).root_census == loaded_table.fsync_verdict(rows).root_census
+
+
+def test_cache_file_name_embeds_fingerprint_and_size(tmp_path):
+    algorithm = _fresh_algorithm()
+    path = table_cache_file(str(tmp_path), algorithm, SIZE)
+    assert cache_key(algorithm) in os.path.basename(path)
+    assert f"n{SIZE}" in os.path.basename(path)
+    assert path.endswith(".npz")
+
+
+def test_corrupt_file_falls_back_to_rebuild(tmp_path):
+    cache_dir = str(tmp_path)
+    reference = successor_table(_fresh_algorithm(), SIZE, disk_cache=cache_dir)
+    path = table_cache_file(cache_dir, _fresh_algorithm(), SIZE)
+    with open(path, "wb") as handle:
+        handle.write(b"not an npz archive")
+    misses_before = metrics.counter("table.disk_cache_misses").value
+    rebuilt = successor_table(_fresh_algorithm(), SIZE, disk_cache=cache_dir)
+    assert metrics.counter("table.disk_cache_misses").value == misses_before + 1
+    _assert_tables_identical(reference, rebuilt)
+    # the rebuild re-saved a valid file
+    assert load_tables(_fresh_algorithm(), SIZE, cache_dir) is not None
+
+
+def test_metadata_mismatch_is_rejected(tmp_path):
+    cache_dir = str(tmp_path)
+    successor_table(_fresh_algorithm(), SIZE, disk_cache=cache_dir)
+    # wrong size under the right file name must not load
+    right = table_cache_file(cache_dir, _fresh_algorithm(), SIZE)
+    wrong = table_cache_file(cache_dir, _fresh_algorithm(), SIZE + 1)
+    os.replace(right, wrong)
+    assert load_tables(_fresh_algorithm(), SIZE + 1, cache_dir) is None
+
+
+def test_save_tables_returns_written_paths(tmp_path):
+    algorithm = _fresh_algorithm()
+    successor_table(algorithm, 3)
+    successor_table(algorithm, 4)
+    written = save_tables(algorithm, str(tmp_path))
+    assert len(written) == 2
+    assert all(os.path.exists(path) for path in written)
+    only_four = save_tables(algorithm, str(tmp_path), sizes=(4,))
+    assert len(only_four) == 1
+    assert only_four[0] == table_cache_file(str(tmp_path), algorithm, 4)
+
+
+def test_environment_variable_enables_the_cache(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path)
+    monkeypatch.setenv("REPRO_TABLE_CACHE", cache_dir)
+    built = successor_table(_fresh_algorithm(), 4)
+    assert os.path.exists(table_cache_file(cache_dir, _fresh_algorithm(), 4))
+    hits_before = metrics.counter("table.disk_cache_hits").value
+    loaded_table = successor_table(_fresh_algorithm(), 4)
+    assert metrics.counter("table.disk_cache_hits").value == hits_before + 1
+    _assert_tables_identical(built, loaded_table)
+    # an explicit argument wins over the environment variable
+    monkeypatch.setenv("REPRO_TABLE_CACHE", "/nonexistent/never-created")
+    successor_table(_fresh_algorithm(), 4, disk_cache=cache_dir)
+    assert not os.path.exists("/nonexistent")
+
+
+def test_derived_algorithm_tables_cache_under_their_own_fingerprint(tmp_path):
+    cache_dir = str(tmp_path)
+    base = _fresh_algorithm()
+    derived = create_algorithm("shibata-visibility2-synth2")
+    assert cache_key(base) != cache_key(derived)
+    base_table = successor_table(base, 4, disk_cache=cache_dir)
+    derived_table = successor_table(derived, 4, disk_cache=cache_dir)
+    assert os.path.exists(table_cache_file(cache_dir, base, 4))
+    assert os.path.exists(table_cache_file(cache_dir, derived, 4))
+    # loading each back preserves their distinct transition functions
+    base_loaded = load_tables(create_algorithm(ALGORITHM), 4, cache_dir)
+    derived_loaded = load_tables(create_algorithm("shibata-visibility2-synth2"), 4, cache_dir)
+    assert base_loaded is not None and derived_loaded is not None
+    assert np.array_equal(base_table.succ, base_loaded.succ)
+    assert np.array_equal(derived_table.succ, derived_loaded.succ)
