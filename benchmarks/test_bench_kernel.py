@@ -16,7 +16,15 @@ import pytest
 
 from repro import obs
 from repro.algorithms.visibility2 import ShibataGatheringAlgorithm
-from repro.analysis.census_pins import N8_ROOTS, PINNED_CENSUS_N8, census_ok
+from repro.analysis.census_pins import (
+    N8_ROOTS,
+    N9_ROOTS,
+    N10_ROOTS,
+    PINNED_CENSUS_N8,
+    PINNED_CENSUS_N9,
+    PINNED_CENSUS_N10,
+    census_ok,
+)
 from repro.core.runner import run_many, run_sweep
 from repro.core.table_kernel import clear_table_caches
 from repro.enumeration.polyhex import enumerate_connected_configurations
@@ -219,6 +227,90 @@ def test_n8_table_sweep_and_parallel_speedup(benchmark, print_table, bench_timin
         assert speedup > 1.05, (
             "shared-memory parallel sweep must beat serial on a multi-core host"
         )
+
+
+@pytest.mark.benchmark(group="E9-kernel")
+def test_n9_sweep_and_n10_sharded_census(benchmark, tmp_path, print_table,
+                                         bench_timings):
+    """E9 (out-of-core): the in-RAM ceiling at n=9 and the disk tier at n=10.
+
+    Three measurements land in ``BENCH_kernel.json`` (all required by the
+    bench-compare gate):
+
+    * ``n9_table_sweep_seconds`` — the exhaustive FSYNC sweep of all 77,359
+      nine-robot roots, the largest space the in-RAM table holds, reconciled
+      against the pinned n=9 census;
+    * ``n10_shard_build_seconds`` — the cold out-of-core build of the
+      362,671-row n=10 shard store (enumerate, geometry, decisions, resolve,
+      spill);
+    * ``shard_sweep_seconds`` — the exhaustive n=10 FSYNC census streamed
+      from the shard store, reconciled against the pinned n=10 census.
+
+    The whole run must stay inside ``REPRO_TABLE_MEMORY_BUDGET``: peak RSS
+    is read back from the ``table.peak_rss_bytes`` gauge the build records,
+    which is the acceptance bar for the out-of-core claim.
+    """
+    import numpy as np
+
+    from repro.core.sharded_tables import sharded_successor_table
+    from repro.core.table_kernel import (
+        DEFAULT_TABLE_MEMORY_BUDGET,
+        record_peak_rss,
+    )
+
+    clear_table_caches()
+    configurations = enumerate_connected_configurations(9)
+    assert len(configurations) == N9_ROOTS
+    algorithm = ShibataGatheringAlgorithm()
+    start = time.perf_counter()
+    batch = run_many(configurations, algorithm=algorithm, max_rounds=600,
+                     kernel="table")
+    n9_seconds = time.perf_counter() - start
+    assert batch.total == N9_ROOTS
+    assert batch.successes == census_ok(PINNED_CENSUS_N9[("shibata-visibility2", "fsync")])
+    del configurations, batch
+
+    sharded_algorithm = ShibataGatheringAlgorithm()
+    start = time.perf_counter()
+    table = sharded_successor_table(sharded_algorithm, 10, cache_dir=str(tmp_path))
+    n10_build_seconds = time.perf_counter() - start
+
+    def census():
+        return table.fsync_verdict(np.arange(table.view.count)).root_census
+
+    start = time.perf_counter()
+    fresh = census()
+    shard_sweep_seconds = time.perf_counter() - start
+    assert table.view.count == N10_ROOTS
+    assert fresh == PINNED_CENSUS_N10[("shibata-visibility2", "fsync")]
+
+    benchmark.pedantic(census, rounds=1, iterations=1)
+
+    # The out-of-core claim: the whole n=10 pipeline (and the n=9 sweep
+    # before it) never grew this process past the table memory budget.
+    peak_rss = record_peak_rss()
+    assert peak_rss < DEFAULT_TABLE_MEMORY_BUDGET, (
+        f"peak RSS {peak_rss} exceeded the {DEFAULT_TABLE_MEMORY_BUDGET} budget"
+    )
+
+    bench_timings["n9_table_sweep_seconds"] = round(n9_seconds, 4)
+    bench_timings["n10_shard_build_seconds"] = round(n10_build_seconds, 4)
+    bench_timings["shard_sweep_seconds"] = round(shard_sweep_seconds, 4)
+    bench_timings["shard_sweep_roots"] = int(table.view.count)
+    bench_timings["shard_count"] = int(table.shards)
+    bench_timings["peak_rss_bytes"] = int(peak_rss)
+    print_table(
+        "E9: out-of-core tier (n=9 in-RAM ceiling; n=10 sharded census)",
+        [
+            {
+                "n9 sweep s": round(n9_seconds, 3),
+                "n10 build s": round(n10_build_seconds, 3),
+                "n10 census s": round(shard_sweep_seconds, 3),
+                "shards": int(table.shards),
+                "peak RSS MB": round(peak_rss / 1e6, 1),
+            }
+        ],
+    )
 
 
 @pytest.mark.benchmark(group="E9-kernel")

@@ -55,6 +55,9 @@ REQUIRED_TIMINGS = {
         "table_sweep_seconds",
         "table_sweep_warm_seconds",
         "n8_table_sweep_seconds",
+        "n9_table_sweep_seconds",
+        "n10_shard_build_seconds",
+        "shard_sweep_seconds",
         "parallel_sweep_seconds",
         "telemetry_overhead_seconds",
         "telemetry_overhead_disabled_seconds",

@@ -24,8 +24,31 @@ from typing import Any, Dict, List, Optional, Sequence
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from repro.analysis.census_pins import PINNED_CENSUS, PINNED_CENSUS_N8  # noqa: E402
+from repro.analysis.census_pins import (  # noqa: E402
+    PINNED_CENSUS,
+    PINNED_CENSUS_N8,
+    PINNED_CENSUS_N9,
+    PINNED_CENSUS_N10,
+)
 from repro.explore import explore  # noqa: E402
+
+
+def _sharded_census(algorithm_name: str, size: int) -> Dict[str, int]:
+    """Exhaustive FSYNC census through the sharded disk tier.
+
+    The n=10 space is past the in-RAM table bound, so its census re-derives
+    from the shard store (built fresh when absent) with one functional-graph
+    sweep instead of an explorer BFS.
+    """
+    import numpy as np
+
+    from repro.algorithms import create_algorithm
+    from repro.core.sharded_tables import sharded_successor_table
+
+    algorithm = create_algorithm(algorithm_name)
+    table = sharded_successor_table(algorithm, size)
+    verdict = table.fsync_verdict(np.arange(table.view.count))
+    return dict(verdict.root_census)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -46,25 +69,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report: Dict[str, Any] = {"checks": [], "failures": []}
     failures: List[str] = []
     # The seven-robot pins re-derive on the packed default kernel (the
-    # paper-scope claim); the n=8 scale-out pins re-derive on the table
-    # kernel, which is the only engine that makes the 16689-root space cheap.
+    # paper-scope claim); the n=8/n=9 scale-out pins re-derive on the table
+    # kernel, the only engine that makes those root spaces cheap; the n=10
+    # pin re-derives through the sharded disk tier, the only engine that
+    # holds 362,671 roots inside the memory budget at all.
     jobs = [
         (algorithm, mode, args.size, "packed", pinned)
         for (algorithm, mode), pinned in sorted(PINNED_CENSUS.items())
     ] + [
         (algorithm, mode, 8, "table", pinned)
         for (algorithm, mode), pinned in sorted(PINNED_CENSUS_N8.items())
+    ] + [
+        (algorithm, mode, 9, "table", pinned)
+        for (algorithm, mode), pinned in sorted(PINNED_CENSUS_N9.items())
+    ] + [
+        (algorithm, mode, 10, "sharded", pinned)
+        for (algorithm, mode), pinned in sorted(PINNED_CENSUS_N10.items())
     ]
     for algorithm, mode, size, kernel, pinned in jobs:
         start = time.perf_counter()
-        result = explore(
-            algorithm_name=algorithm,
-            mode=mode,
-            size=size,
-            with_witnesses=False,
-            kernel=kernel,
-        )
-        fresh = dict(result.root_census)
+        if kernel == "sharded":
+            fresh = _sharded_census(algorithm, size)
+        else:
+            result = explore(
+                algorithm_name=algorithm,
+                mode=mode,
+                size=size,
+                with_witnesses=False,
+                kernel=kernel,
+            )
+            fresh = dict(result.root_census)
         seconds = round(time.perf_counter() - start, 3)
         matches = fresh == pinned
         line = (

@@ -19,8 +19,12 @@ from typing import Dict, Mapping, Tuple
 __all__ = [
     "THEOREM2_ROOTS",
     "N8_ROOTS",
+    "N9_ROOTS",
+    "N10_ROOTS",
     "PINNED_CENSUS",
     "PINNED_CENSUS_N8",
+    "PINNED_CENSUS_N9",
+    "PINNED_CENSUS_N10",
     "pinned_census",
     "census_ok",
     "census_regressions",
@@ -33,6 +37,15 @@ THEOREM2_ROOTS = 3652
 #: polyhexes with eight cells, OEIS A001207) — the first scale-out level of
 #: the state-space engine beyond the paper's own world.
 N8_ROOTS = 16689
+
+#: Connected nine-robot initial configurations (A001207, nine cells) — the
+#: largest space the in-RAM table kernel holds under the default budget.
+N9_ROOTS = 77359
+
+#: Connected ten-robot initial configurations (A001207, ten cells) — past
+#: the in-RAM bound; exhaustively covered by the sharded disk tier
+#: (:mod:`repro.core.sharded_tables`).
+N10_ROOTS = 362671
 
 #: ``(algorithm, mode) -> exhaustive root census`` for every committed rule
 #: set.  ``mode`` is ``"fsync"`` or ``"ssync"`` (adversarial activation).
@@ -99,16 +112,63 @@ PINNED_CENSUS_N8: Dict[Tuple[str, str], Dict[str, int]] = {
 }
 
 
+#: ``(algorithm, mode) -> exhaustive root census`` over all 77,359 connected
+#: *nine*-robot roots — the last space the in-RAM table kernel covers under
+#: the default 1 GiB budget (FSYNC sweep ~10s, adversarial SSYNC ~11s).  As
+#: at n=8 these are behaviour pins of the seven-robot rule set at scale, not
+#: correctness claims: most roots deadlock because the printed rules never
+#: see views the larger spaces produce.
+PINNED_CENSUS_N9: Dict[Tuple[str, str], Dict[str, int]] = {
+    ("shibata-visibility2", "fsync"): {
+        "gathered": 34,
+        "safe": 24693,
+        "deadlock": 41579,
+        "collision": 1603,
+        "disconnected": 9450,
+    },
+    ("shibata-visibility2", "ssync"): {
+        "gathered": 34,
+        "safe": 7485,
+        "deadlock": 48017,
+        "collision": 7178,
+        "disconnected": 14645,
+    },
+}
+
+
+#: ``(algorithm, mode) -> exhaustive root census`` over all 362,671 connected
+#: *ten*-robot roots — the first census past the in-RAM bound, computed
+#: end-to-end by the sharded disk tier (:mod:`repro.core.sharded_tables`)
+#: within the default 1 GiB budget (~26s build, ~0.6s sweep, ~309 MB peak
+#: RSS, ~38 MB on disk in six shards).  FSYNC only: the SSYNC expansion of
+#: 362k roots is a follow-up once the explorer BFS streams its frontier to
+#: disk too.
+PINNED_CENSUS_N10: Dict[Tuple[str, str], Dict[str, int]] = {
+    ("shibata-visibility2", "fsync"): {
+        "gathered": 18,
+        "safe": 48206,
+        "deadlock": 261689,
+        "collision": 5528,
+        "disconnected": 47230,
+    },
+}
+
+
 def pinned_census(algorithm: str, mode: str, size: int = 7) -> Dict[str, int]:
     """The pinned census of a committed rule set (KeyError if not pinned).
 
     ``size`` selects the root space: 7 (the paper's world, every committed
-    rule set) or 8 (the scale-out pins, ``shibata-visibility2`` only).
+    rule set) or 8/9/10 (the scale-out pins, ``shibata-visibility2`` only;
+    10 is FSYNC-only, derived through the sharded disk tier).
     """
     if size == 7:
         return dict(PINNED_CENSUS[(algorithm, mode)])
     if size == 8:
         return dict(PINNED_CENSUS_N8[(algorithm, mode)])
+    if size == 9:
+        return dict(PINNED_CENSUS_N9[(algorithm, mode)])
+    if size == 10:
+        return dict(PINNED_CENSUS_N10[(algorithm, mode)])
     raise KeyError(f"no pinned censuses for size {size}")
 
 

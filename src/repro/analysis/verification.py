@@ -144,7 +144,7 @@ def verify_all_configurations(
     size: int = 7,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     workers: int = 1,
-    chunk_size: int = 128,
+    chunk_size: Optional[int] = None,
     cache_dir: Optional[str] = None,
     kernel: str = "packed",
 ) -> VerificationReport:

@@ -114,9 +114,15 @@ class Configuration:
 
     #: Minimum achievable diameter for n robots on the triangular grid:
     #: a single node, an edge, a triangle, subsets of the filled hexagon, and
-    #: (for 8 and 9 robots) the hexagon plus adjacent cells.  The 8/9 values
-    #: are verified against the exhaustive enumeration in the tests.
-    _MIN_DIAMETER = {1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 2, 7: 2, 8: 3, 9: 3}
+    #: (for 8..12 robots) the hexagon plus adjacent cells.  Diameter 2 maxes
+    #: out at the 7-cell filled hexagon, and the 19-cell filled hexagon of
+    #: radius 2 has diameter 4, so every count from 8 through 19 admits a
+    #: diameter-3 packing and nothing tighter.  The 8/9/10 values are
+    #: verified against the exhaustive enumeration in the tests.
+    _MIN_DIAMETER = {
+        1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 2, 7: 2,
+        8: 3, 9: 3, 10: 3, 11: 3, 12: 3,
+    }
 
     def is_gathered(self) -> bool:
         """Whether the gathering condition of Definition 1 holds.

@@ -423,6 +423,20 @@ def run_execution(
                     return _run_execution_table(
                         initial, algorithm, scheduler, max_rounds, record_rounds, table, row
                     )
+        elif require_connectivity:
+            # The disk tier past the in-RAM bound: a single execution never
+            # triggers a 20-second shard build, but when a batch caller (the
+            # runner's chunk executor, a worker attach) already opened the
+            # shard store on this algorithm instance, execution streams from
+            # it exactly like the in-RAM table.
+            sharded = getattr(algorithm, "_sharded_tables", None)
+            table = sharded.get(size) if sharded else None
+            if table is not None:
+                row = table.view.row_of_nodes(initial.nodes)
+                if row is not None:
+                    return _run_execution_table(
+                        initial, algorithm, scheduler, max_rounds, record_rounds, table, row
+                    )
     return _run_execution_packed(
         initial, algorithm, scheduler, max_rounds, record_rounds, require_connectivity
     )

@@ -50,11 +50,28 @@ __all__ = [
     "run_many",
     "run_sweep",
     "worker_algorithm",
+    "autotune_chunk_size",
     "DEFAULT_CHUNK_SIZE",
 ]
 
-#: Default number of configurations per streamed chunk / parallel task.
+#: Default number of configurations per streamed chunk / parallel task when
+#: the batch size is unknown (serial streaming over a lazy iterable).
 DEFAULT_CHUNK_SIZE = 128
+
+
+def autotune_chunk_size(total: int, workers: int) -> int:
+    """Chunk size balancing fan-out overhead against load balance.
+
+    A fixed 128-row chunk is badly matched to table sweeps: the 16,689-row
+    n=8 space splits into 131 tasks whose pickling/IPC overhead swamps the
+    per-chunk work, which is where the weak 2-worker speedup came from.
+    Targeting ~4 chunks per worker keeps every worker busy to the end (a
+    straggler chunk costs at most a quarter of one worker's share) while the
+    per-task overhead is paid tens of times, not hundreds.  Bounds keep
+    degenerate inputs sane: tiny batches still parallelize, huge ones do not
+    balloon a single task's payload.
+    """
+    return max(32, min(4096, -(-total // (max(workers, 1) * 4))))
 
 NodeTuple = Tuple[Tuple[int, int], ...]
 ConfigurationLike = Union[Configuration, NodeTuple]
@@ -190,6 +207,7 @@ def _execute_chunk(payload: _ChunkPayload) -> Tuple[List[ConfigurationResult], D
     then answers from the parent's successor table instead of re-simulating
     or rebuilding per worker.
     """
+    chunk_start = time.perf_counter()
     algorithm_name, scheduler_spec, node_tuples, max_rounds, kernel, cache_dir, handles = payload
     algorithm = worker_algorithm(algorithm_name)
     if handles:
@@ -219,6 +237,10 @@ def _execute_chunk(payload: _ChunkPayload) -> Tuple[List[ConfigurationResult], D
         from .decision_cache import persist_shared_cache
 
         persist_shared_cache(algorithm, cache_dir)
+    # Per-chunk wall time: the histogram is what makes parallel load
+    # imbalance visible (a few slow chunks dominating the sweep shows up as
+    # a long tail here long before it shows in the aggregate speedup).
+    _obs.histogram("runner.chunk_seconds").observe(time.perf_counter() - chunk_start)
     return results, _obs.export_delta()
 
 
@@ -230,12 +252,19 @@ def _table_batch_results(
     """FSYNC sweep of many configurations through the successor table.
 
     One table build and one memoized functional-graph traversal answer every
-    configuration at once (:mod:`repro.core.table_kernel`); items outside the
-    table's scope (disconnected, or beyond the memory-estimated size bound)
-    fall back to a per-item packed execution.  Results are byte-identical to
-    :func:`execute_configuration` in input order.
+    configuration at once (:mod:`repro.core.table_kernel`); sizes past the
+    in-RAM bound but within :func:`~repro.core.table_kernel.sharded_in_scope`
+    answer from the disk tier (:mod:`repro.core.sharded_tables`) — this is
+    the batch path the n=10 census rides.  Items outside both scopes
+    (disconnected, or beyond every bound) fall back to a per-item packed
+    execution.  Results are byte-identical to :func:`execute_configuration`
+    in input order.
     """
-    from .table_kernel import successor_table, table_in_scope  # late: numpy gate
+    from .table_kernel import (  # late: numpy gate
+        sharded_in_scope,
+        successor_table,
+        table_in_scope,
+    )
 
     import numpy as np
 
@@ -249,25 +278,40 @@ def _table_batch_results(
     tables: Dict[int, object] = {}
     rows_by_size: Dict[int, List[Tuple[int, int]]] = {}
     results: List[Optional[ConfigurationResult]] = [None] * len(items)
+    positions_by_size: Dict[int, List[int]] = {}
     for position, nodes in enumerate(node_lists):
-        size = len(nodes)
-        row = None
-        if table_in_scope(size):
-            table = tables.get(size)
-            if table is None:
-                table = tables[size] = successor_table(algorithm, size)
-            # node_lists entries are already sorted, so the canonical form
-            # is one translation away (no second sort via row_of_nodes).
-            aq, ar = nodes[0]
-            row = table.view.tuple_index.get(
-                tuple((q - aq, r - ar) for q, r in nodes)
-            )
-        if row is None:
-            results[position] = execute_configuration(
-                items[position], algorithm, max_rounds=max_rounds, kernel="packed"
-            )
+        positions_by_size.setdefault(len(nodes), []).append(position)
+    for size, positions in positions_by_size.items():
+        if size > 0 and table_in_scope(size):
+            table = successor_table(algorithm, size)
+        elif size > 0 and sharded_in_scope(size):
+            from .sharded_tables import sharded_successor_table  # late: cycle
+
+            table = sharded_successor_table(algorithm, size)
         else:
-            rows_by_size.setdefault(size, []).append((position, row))
+            table = None
+        tables[size] = table
+        rows = None
+        if table is not None:
+            # One vectorized canonical-index probe answers the whole size
+            # group: translate every (already sorted) node list to its anchor,
+            # int8-pack and hash-probe — never per-item python loops, and
+            # never the Python-dict tuple index whose resident cost is exactly
+            # what the sharded tier exists to avoid.
+            arr = np.array([node_lists[p] for p in positions], dtype=np.int64)
+            deltas = arr - arr[:, :1, :]
+            in_range = np.all((deltas >= -128) & (deltas <= 127), axis=(1, 2))
+            blocks = deltas.astype(np.int8).reshape(len(positions), 2 * size)
+            rows = np.asarray(table.view.canonical_index.lookup(blocks))
+            rows[~in_range] = -1
+        for i, position in enumerate(positions):
+            row = int(rows[i]) if rows is not None else -1
+            if row < 0:
+                results[position] = execute_configuration(
+                    items[position], algorithm, max_rounds=max_rounds, kernel="packed"
+                )
+            else:
+                rows_by_size.setdefault(size, []).append((position, row))
 
     for size, pairs in rows_by_size.items():
         table = tables[size]
@@ -303,7 +347,7 @@ def iter_result_chunks(
     scheduler: Union[None, str, Scheduler] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     kernel: str = "packed",
     cache_dir: Optional[str] = None,
 ) -> Iterator[List[ConfigurationResult]]:
@@ -314,6 +358,9 @@ def iter_result_chunks(
     that path requires ``algorithm_name`` (algorithms are rebuilt from the
     registry inside each worker) and, when a scheduler is wanted, a textual
     scheduler spec (see :func:`~repro.core.scheduler.scheduler_from_spec`).
+    ``chunk_size=None`` (the default) autotunes the parallel chunk size from
+    the batch row count (:func:`autotune_chunk_size`); serial streaming uses
+    :data:`DEFAULT_CHUNK_SIZE`.
     ``cache_dir`` names a directory for the persistent cross-worker decision
     cache (:mod:`repro.core.decision_cache`); both the serial and the
     parallel path adopt it on entry and merge their decisions back.
@@ -350,17 +397,19 @@ def _iter_result_chunks_uncounted(
     scheduler: Union[None, str, Scheduler] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     kernel: str = "packed",
     cache_dir: Optional[str] = None,
 ) -> Iterator[List[ConfigurationResult]]:
     """The streaming core behind :func:`iter_result_chunks` (no telemetry)."""
     if (algorithm is None) == (algorithm_name is None):
         raise ValueError("provide exactly one of algorithm / algorithm_name")
-    if chunk_size < 1:
+    if chunk_size is not None and chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
 
     if workers <= 1:
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
         if algorithm is None:
             from ..algorithms.registry import create_algorithm  # late: import cycle
 
@@ -415,6 +464,9 @@ def _iter_result_chunks_uncounted(
         )
 
     node_tuples = _node_tuples(configurations)
+    if chunk_size is None:
+        chunk_size = autotune_chunk_size(len(node_tuples), workers)
+        _obs.gauge("runner.autotuned_chunk_size").set(chunk_size)
     pool = None
     published: List = []
     try:
@@ -426,13 +478,16 @@ def _iter_result_chunks_uncounted(
             # table instead of rebuilding — the build is paid once per batch,
             # not once per process.
             from .shared_tables import publish_table  # late: numpy gate
-            from .table_kernel import successor_table, table_in_scope
+            from .table_kernel import (
+                sharded_in_scope,
+                successor_table,
+                table_in_scope,
+            )
 
             builder = worker_algorithm(algorithm_name)
             if getattr(builder, "deterministic", True):
-                sizes = sorted(
-                    {len(nodes) for nodes in node_tuples if table_in_scope(len(nodes))}
-                )
+                all_sizes = {len(nodes) for nodes in node_tuples}
+                sizes = sorted(s for s in all_sizes if table_in_scope(s))
                 if sizes:
                     pool = multiprocessing.get_context("spawn").Pool(
                         processes=min(workers, os.cpu_count() or 1)
@@ -447,6 +502,26 @@ def _iter_result_chunks_uncounted(
                         )
                         published.append(publish_table(table, algorithm_name))
                     handles = tuple(published)
+                # Sizes past the in-RAM bound ride the disk tier: the shard
+                # store is built once in the parent and workers attach the
+                # files read-only (the page cache is the shared memory), so
+                # nothing is published into /dev/shm and nothing needs
+                # unlinking afterwards.
+                sharded_sizes = sorted(
+                    s for s in all_sizes
+                    if not table_in_scope(s) and sharded_in_scope(s)
+                )
+                if sharded_sizes:
+                    from .sharded_tables import (  # late: avoids an import cycle
+                        sharded_handle,
+                        sharded_successor_table,
+                    )
+
+                    for table_size in sharded_sizes:
+                        table = sharded_successor_table(builder, table_size)
+                        handles = handles + (
+                            sharded_handle(table, algorithm_name),
+                        )
         payloads: List[_ChunkPayload] = [
             (
                 algorithm_name,
@@ -533,7 +608,7 @@ def run_many(
     scheduler: Union[None, str, Scheduler] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     kernel: str = "packed",
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
@@ -640,7 +715,7 @@ def run_sweep(
     configurations: Optional[Iterable[ConfigurationLike]] = None,
     size: int = 7,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     kernel: str = "packed",
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[SweepCell]:

@@ -1,0 +1,747 @@
+"""Out-of-core sharded successor tables: state spaces past the RAM bound.
+
+The in-RAM table kernel (:mod:`repro.core.table_kernel`) is capped by
+:func:`~repro.core.table_kernel.max_table_size` — the full
+``ViewTable``/``SuccessorTable`` pair with its lazily-built Python-side
+lookup dictionaries stops fitting the memory budget at n=10 (362,671 rows).
+This module is the disk tier above that bound: the configuration space is
+partitioned into fixed-size **shards**, the wide per-row payloads (canonical
+positions, view bitmasks, per-robot move codes) are spilled to per-shard
+``.npy`` memmap files under ``REPRO_TABLE_CACHE``, and only the narrow
+functional-graph arrays — kind / succ / mover bits / collision codes /
+gathered / diameters, ~19 bytes per row — stay resident.  Cross-shard
+successor pointers are *global* row numbers resolved during the build
+through one :class:`~repro.core.table_kernel.CanonicalIndex` over the whole
+space (hash + searchsorted + byte verify, itself memmap-backed), so the
+facade's functional graph is exactly the monolithic table's.
+
+:class:`ShardedSuccessorTable` subclasses ``SuccessorTable`` and answers the
+same API — FSYNC execution, :meth:`~SuccessorTable.batch_outcomes` sweeps,
+:meth:`~SuccessorTable.fsync_verdict` censuses, SSYNC
+:meth:`~SuccessorTable.expand_row` slicing — streaming shard files through a
+small LRU of open memmaps, so the working set stays bounded however large
+the space is.  Byte identity with the in-RAM table for every size both tiers
+cover is property-tested (``tests/test_sharded_tables.py``).
+
+Shard directories are immutable once complete: ``manifest.json`` is written
+last (atomically), so a directory without a valid manifest is an aborted
+build and is rebuilt from scratch.  Every payload file's byte size is
+recorded in the manifest and re-checked on open — a truncated or corrupted
+file fails validation and triggers the same rebuild.  Workers attach the
+files read-only through :class:`ShardedTableHandle` (the picklable twin of
+``shared_tables.SharedTableHandle``): no copy into ``/dev/shm``, the page
+cache is the shared memory.
+"""
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..grid.packing import pack_nodes
+from ..obs import get_logger
+from ..obs import metrics as _obs
+from ..obs import record_span as _obs_record_span
+from .algorithm import GatheringAlgorithm
+from .table_kernel import (
+    _BUILD_BLOCK,
+    _CODE_OF,
+    _MIN_DIAMETER,
+    _TABLE_CACHE_ENV,
+    CanonicalIndex,
+    GATHERING_SIZE,
+    SuccessorTable,
+    record_peak_rss,
+    sharded_max_table_size,
+)
+from .view import View
+
+_LOG = get_logger("core.sharded_tables")
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "SHARD_FORMAT",
+    "ShardedTableError",
+    "ShardedSuccessorTable",
+    "ShardedTableHandle",
+    "sharded_table_dir",
+    "build_sharded_table",
+    "open_sharded_table",
+    "sharded_successor_table",
+    "attach_sharded",
+    "detach_all_sharded",
+]
+
+#: Rows per shard.  65536 rows keep the widest per-shard payload (positions,
+#: ``4n`` bytes/row) under ~3 MB at n=10 while the whole space still splits
+#: into single-digit shard counts; override with ``REPRO_TABLE_SHARD_ROWS``.
+DEFAULT_SHARD_ROWS = 65536
+
+#: Environment variable overriding the shard row count (tests force tiny
+#: shards through it to exercise boundary handling).
+_SHARD_ROWS_ENV = "REPRO_TABLE_SHARD_ROWS"
+
+#: Bumped whenever the on-disk layout changes; mismatched directories are
+#: rebuilt (the shard store is a cache, never a source of truth).
+SHARD_FORMAT = 1
+
+#: Open shard handles kept per table: bounds file descriptors, not memory —
+#: the mappings are demand-paged, so an evicted-and-reopened shard only costs
+#: a page fault per touched row.
+_MAX_OPEN_SHARDS = 8
+
+#: Narrow global arrays resident in RAM (name -> dtype), in manifest order.
+_GLOBAL_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("kind", "int8"),
+    ("succ", "int32"),
+    ("mover_bits", "int16"),
+    ("mover_count", "int16"),
+    ("collision_code", "int8"),
+    ("gathered", "bool"),
+    ("diameters", "int64"),
+)
+
+#: Wide per-shard memmapped payloads (name -> dtype).
+_SHARD_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("positions", "int16"),
+    ("move_code", "int8"),
+)
+
+
+class ShardedTableError(RuntimeError):
+    """A shard directory is missing, incomplete, stale or corrupt."""
+
+
+# ---------------------------------------------------------------------------
+# Layout.
+# ---------------------------------------------------------------------------
+
+def _cache_root(cache_dir: Optional[str]) -> str:
+    """The directory shard stores live under (arg > env > tempdir)."""
+    root = cache_dir or os.environ.get(_TABLE_CACHE_ENV)
+    if not root:
+        root = os.path.join(tempfile.gettempdir(), "repro-table-cache")
+    return root
+
+
+def default_shard_rows() -> int:
+    """The configured rows-per-shard (``REPRO_TABLE_SHARD_ROWS`` or default)."""
+    env = os.environ.get(_SHARD_ROWS_ENV)
+    return int(env) if env else DEFAULT_SHARD_ROWS
+
+
+def sharded_table_dir(
+    algorithm: GatheringAlgorithm,
+    size: int,
+    shard_rows: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> str:
+    """Shard-store directory of one (algorithm fingerprint, size, shard size).
+
+    Like :func:`~repro.core.table_kernel.table_cache_file`, the name embeds
+    the algorithm's decision-cache key, so a release bump or a changed rule
+    set can never adopt stale shards; CI keys its ``actions/cache`` entry on
+    the same inputs.
+    """
+    from .decision_cache import cache_key  # late: avoids an import cycle
+
+    rows = shard_rows if shard_rows is not None else default_shard_rows()
+    return os.path.join(
+        _cache_root(cache_dir), f"shards-{cache_key(algorithm)}-n{size}-r{rows}"
+    )
+
+
+def _shard_file(directory: str, shard: int, field: str) -> str:
+    return os.path.join(directory, f"shard-{shard:04d}-{field}.npy")
+
+
+def _global_file(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}.npy")
+
+
+def _save_array(path: str, array: "np.ndarray") -> None:
+    """Atomic ``np.save`` (tmp + rename), contiguous layout."""
+    temporary = f"{path}.tmp.{os.getpid()}"
+    with open(temporary, "wb") as handle:
+        np.save(handle, np.ascontiguousarray(array))
+    os.replace(temporary, path)
+
+
+# ---------------------------------------------------------------------------
+# Build.
+# ---------------------------------------------------------------------------
+
+def _enumerate_sorted_positions(size: int) -> "np.ndarray":
+    """The whole canonical space as a ``(rows, n, 2)`` int16 array, row order.
+
+    Streams :func:`~repro.enumeration.polyhex.iter_canonical_node_sets`
+    (growth order, shapes never materialized as Python tuples beyond the
+    memoized previous level) and then **lexsorts globally**, because the
+    monolithic ``ViewTable`` row order is the sorted enumeration — the
+    sharded table must agree row for row to be byte-identical.
+    """
+    from ..enumeration.polyhex import (  # late: avoids an import cycle
+        FIXED_POLYHEX_COUNTS,
+        iter_canonical_node_sets,
+    )
+
+    rows = FIXED_POLYHEX_COUNTS.get(size)
+    if rows is None:
+        raise ShardedTableError(
+            f"the sharded tier needs an exact state-space count for n={size}"
+        )
+    stream = iter_canonical_node_sets(size)
+    positions = np.fromiter(
+        (c for shape in stream for node in shape for c in node),
+        dtype=np.int16,
+        count=rows * size * 2,
+    ).reshape(rows, size, 2)
+    if next(stream, None) is not None:  # pragma: no cover - enumeration closed
+        raise ShardedTableError(f"enumeration of n={size} exceeded {rows} shapes")
+    flat = positions.reshape(rows, size * 2)
+    # np.lexsort sorts by its *last* key first; reversing the flattened
+    # columns makes (q0, r0, q1, r1, ...) the lexicographic order — exactly
+    # ``sorted()`` over canonical shape tuples.
+    order = np.lexsort(flat.T[::-1])
+    return positions[order]
+
+
+def _geometry_block(
+    block: "np.ndarray", lut: "np.ndarray", span: int, size: int
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """views / diameters / gathered of one positions block (ViewTable formulas)."""
+    dq = block[:, None, :, 0] - block[:, :, None, 0]
+    dr = block[:, None, :, 1] - block[:, :, None, 1]
+    views = np.bitwise_or.reduce(lut[dq + span, dr + span], axis=2)
+    hexdist = (np.abs(dq) + np.abs(dr) + np.abs(dq + dr)) // 2
+    diameters = hexdist.max(axis=(1, 2)).astype(np.int64)
+    if size == GATHERING_SIZE:
+        gathered = ((hexdist == 1).sum(axis=2) == 6).any(axis=1)
+    else:
+        gathered = diameters == _MIN_DIAMETER[size]
+    return views, diameters, gathered
+
+
+def build_sharded_table(
+    algorithm: GatheringAlgorithm,
+    size: int,
+    directory: str,
+    shard_rows: Optional[int] = None,
+) -> str:
+    """Build (or rebuild) one shard store on disk; returns the directory.
+
+    Four bounded-memory passes:
+
+    1. **Enumerate** — stream the polyhex growth into a flat positions array
+       and lexsort it into the monolithic row order.
+    2. **Geometry** — per shard, chunk-wise: view bitmasks / diameters /
+       gathering flags through the same LUT formulas ``ViewTable`` uses;
+       positions spill to the shard files, the canonical-index block array
+       and hashes build incrementally.
+    3. **Compute** — the union of unique views resolves through the
+       algorithm's decision cache once (the only ``algorithm.compute`` cost),
+       then each shard's per-robot move codes are one gather + spill.
+    4. **Resolve** — chunk-wise :func:`~repro.core.table_kernel.resolve_rows_arrays`
+       with the *global* canonical index as the successor lookup, which is
+       what turns cross-shard successors into plain global row numbers.
+
+    Never constructs a ``ViewTable`` (the point is to stay out of the in-RAM
+    tier's scope check) and never builds a Python-side lookup dictionary.
+    """
+    from .engine import decision_cache_for  # late: avoids an import cycle
+    from .table_kernel import resolve_rows_arrays  # late: keeps import light
+
+    if not getattr(algorithm, "deterministic", True):
+        raise ValueError("the table kernel requires a deterministic algorithm")
+    rows_per_shard = shard_rows if shard_rows is not None else default_shard_rows()
+    if rows_per_shard < 1:
+        raise ValueError("shard_rows must be at least 1")
+    visibility_range = algorithm.visibility_range
+    build_start = time.perf_counter()
+
+    if os.path.isdir(directory):
+        shutil.rmtree(directory)
+    os.makedirs(directory, exist_ok=True)
+
+    # Pass 1: enumerate + global sort.
+    positions = _enumerate_sorted_positions(size)
+    rows = len(positions)
+    n = size
+    shards = -(-rows // rows_per_shard)
+
+    # Pass 2: geometry, shard spill, canonical index.
+    from ..grid.packing import offset_bit_table  # late: avoids an import cycle
+
+    span = max(2 * int(np.abs(positions).max(initial=0)), visibility_range)
+    lut = np.zeros((2 * span + 1, 2 * span + 1), dtype=np.int32)
+    for (oq, orr), bit in offset_bit_table(visibility_range).items():
+        if abs(oq) <= span and abs(orr) <= span:
+            lut[oq + span, orr + span] = bit
+    views = np.empty((rows, n), dtype=np.int32)
+    diameters = np.empty(rows, dtype=np.int64)
+    gathered = np.empty(rows, dtype=bool)
+    pos8_path = _global_file(directory, "index_pos8")
+    pos8 = np.lib.format.open_memmap(
+        pos8_path, mode="w+", dtype=np.int8, shape=(rows, 2 * n)
+    )
+    for start in range(0, rows, _BUILD_BLOCK):
+        stop = min(start + _BUILD_BLOCK, rows)
+        block = positions[start:stop]
+        views[start:stop], diameters[start:stop], gathered[start:stop] = (
+            _geometry_block(block, lut, span, n)
+        )
+        pos8[start:stop] = block.astype(np.int8).reshape(stop - start, 2 * n)
+    pos8.flush()
+    for shard in range(shards):
+        lo, hi = shard * rows_per_shard, min((shard + 1) * rows_per_shard, rows)
+        _save_array(_shard_file(directory, shard, "positions"), positions[lo:hi])
+    index = CanonicalIndex(pos8)
+    _save_array(_global_file(directory, "index_hash"), index.hashes)
+    _save_array(_global_file(directory, "index_order"), index.order)
+
+    # Pass 3: decisions over the unique-view union, then per-shard move codes.
+    unique_views = np.unique(views)
+    cache = decision_cache_for(algorithm)
+    assert cache is not None  # deterministic algorithms always carry one
+    compute = algorithm.compute
+    codes = np.zeros(len(unique_views), dtype=np.int8)
+    misses = 0
+    for slot, bitmask in enumerate(unique_views.tolist()):
+        try:
+            decision = cache[bitmask]
+        except KeyError:
+            misses += 1
+            decision = compute(View.from_bitmask(bitmask, visibility_range))
+            cache[bitmask] = decision
+        if decision is not None:
+            codes[slot] = _CODE_OF[decision]
+    _obs.counter("decision_cache.lookups").inc(len(unique_views))
+    if misses:
+        _obs.counter("decision_cache.misses").inc(misses)
+    move_code = codes[np.searchsorted(unique_views, views)]
+    for shard in range(shards):
+        lo, hi = shard * rows_per_shard, min((shard + 1) * rows_per_shard, rows)
+        _save_array(_shard_file(directory, shard, "move_code"), move_code[lo:hi])
+
+    # Pass 4: chunk-wise resolution against the global canonical index.
+    kind = np.empty(rows, dtype=np.int8)
+    succ = np.empty(rows, dtype=np.int32)
+    mover_bits = np.empty(rows, dtype=np.int16)
+    mover_count = np.empty(rows, dtype=np.int16)
+    collision_code = np.empty(rows, dtype=np.int8)
+    for start in range(0, rows, _BUILD_BLOCK):
+        stop = min(start + _BUILD_BLOCK, rows)
+        (
+            mover_bits[start:stop],
+            mover_count[start:stop],
+            kind[start:stop],
+            succ[start:stop],
+            collision_code[start:stop],
+        ) = resolve_rows_arrays(
+            positions[start:stop],
+            move_code[start:stop],
+            gathered[start:stop],
+            index.lookup,
+        )
+
+    globals_by_name = {
+        "kind": kind,
+        "succ": succ,
+        "mover_bits": mover_bits,
+        "mover_count": mover_count,
+        "collision_code": collision_code,
+        "gathered": gathered,
+        "diameters": diameters,
+    }
+    for name, _ in _GLOBAL_FIELDS:
+        _save_array(_global_file(directory, name), globals_by_name[name])
+    _save_array(_global_file(directory, "codes"), codes)
+    _save_array(_global_file(directory, "unique_views"), unique_views)
+
+    # The manifest is written last and atomically: its presence marks the
+    # store complete, its per-file byte sizes are the corruption check.
+    files: Dict[str, int] = {}
+    for entry in sorted(os.listdir(directory)):
+        files[entry] = os.path.getsize(os.path.join(directory, entry))
+    manifest = {
+        "format": SHARD_FORMAT,
+        "size": size,
+        "visibility_range": visibility_range,
+        "rows": rows,
+        "shard_rows": rows_per_shard,
+        "shards": shards,
+        "files": files,
+    }
+    temporary = os.path.join(directory, f"manifest.json.tmp.{os.getpid()}")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, sort_keys=True, indent=1)
+    os.replace(temporary, os.path.join(directory, "manifest.json"))
+
+    elapsed = time.perf_counter() - build_start
+    disk_bytes = sum(files.values())
+    _obs.counter("table.shard_builds").inc()
+    _obs.gauge("table.shard_disk_bytes").set(disk_bytes)
+    record_peak_rss()
+    _obs_record_span(
+        "table.shard_build",
+        elapsed,
+        size=size,
+        rows=rows,
+        shards=shards,
+        shard_rows=rows_per_shard,
+        disk_bytes=disk_bytes,
+    )
+    _LOG.info(
+        "built shard store %s: n=%d rows=%d shards=%d (%.1f MB) in %.1fs",
+        directory, size, rows, shards, disk_bytes / 1e6, elapsed,
+    )
+    return directory
+
+
+# ---------------------------------------------------------------------------
+# The facade.
+# ---------------------------------------------------------------------------
+
+class _ShardedViewAdapter:
+    """The slice of the ``ViewTable`` API the streaming facade needs.
+
+    Narrow per-row arrays (gathered / diameters) resident, canonical lookups
+    answered from the memmapped global index.  Deliberately has no
+    ``shapes`` / ``tuple_index`` / ``packed`` — the Python-side dictionaries
+    are exactly what the sharded tier exists to avoid; row-to-packed goes
+    through :meth:`ShardedSuccessorTable.packed_of_row` instead.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        visibility_range: int,
+        count: int,
+        gathered: "np.ndarray",
+        diameters: "np.ndarray",
+        index: CanonicalIndex,
+    ) -> None:
+        self.size = size
+        self.visibility_range = visibility_range
+        self.count = count
+        self.gathered = gathered
+        self.diameters = diameters
+        self.canonical_index = index
+
+    def rows_of_canonical(self, blocks: "np.ndarray") -> "np.ndarray":
+        """Global rows of a batch of int8 canonical blocks (-1 = unknown)."""
+        return self.canonical_index.lookup(blocks)
+
+    def row_of_nodes(self, nodes: Iterable[Tuple[int, int]]) -> Optional[int]:
+        """Global row of an arbitrary translate of a canonical shape."""
+        pairs = sorted((int(node[0]), int(node[1])) for node in nodes)
+        if len(pairs) != self.size:
+            return None
+        aq, ar = pairs[0]
+        deltas = [(q - aq, r - ar) for q, r in pairs]
+        if any(not (-128 <= q <= 127 and -128 <= r <= 127) for q, r in deltas):
+            return None
+        block = np.array(deltas, dtype=np.int8).reshape(1, -1)
+        row = int(self.canonical_index.lookup(block)[0])
+        return row if row >= 0 else None
+
+
+class _ShardField:
+    """Row-indexed view over one per-shard memmapped payload field."""
+
+    def __init__(self, table: "ShardedSuccessorTable", field: str) -> None:
+        self._table = table
+        self._field = field
+
+    def __getitem__(self, row: int) -> "np.ndarray":
+        shard, local = divmod(int(row), self._table.shard_rows)
+        return self._table._shard_arrays(shard)[self._field][local]
+
+    def __len__(self) -> int:
+        return self._table.view.count
+
+
+class ShardedSuccessorTable(SuccessorTable):
+    """A ``SuccessorTable`` whose wide payloads stream from shard files.
+
+    The functional-graph arrays (kind / succ / movers / collision / gathered
+    / diameters) are plain resident ndarrays, so every inherited traversal —
+    :meth:`fsync_summary`, :meth:`batch_outcomes`, :meth:`fsync_verdict`,
+    :meth:`reachable_rows`, :meth:`walk_outcome` — runs unchanged.  Row
+    positions and move codes page in shard-by-shard through a bounded LRU of
+    open memmaps, and packed forms are computed on demand from positions
+    (``pack_nodes`` canonicalizes, so the result equals the monolithic
+    ``view.packed`` entry bit for bit).  Derivation is not supported: shard
+    stores are immutable build artifacts.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        manifest: Dict,
+        view: _ShardedViewAdapter,
+        codes: "np.ndarray",
+        globals_by_name: Dict[str, "np.ndarray"],
+    ) -> None:
+        super().__init__(
+            view=view,  # type: ignore[arg-type]
+            codes=codes,
+            move_code=_ShardField(self, "move_code"),  # type: ignore[arg-type]
+            mover_bits=globals_by_name["mover_bits"],
+            mover_count=globals_by_name["mover_count"],
+            kind=globals_by_name["kind"],
+            succ=globals_by_name["succ"],
+            collision_code=globals_by_name["collision_code"],
+        )
+        self.directory = directory
+        self.manifest = manifest
+        self.shard_rows = int(manifest["shard_rows"])
+        self.shards = int(manifest["shards"])
+        self._open_shards: "OrderedDict[int, Dict[str, np.ndarray]]" = OrderedDict()
+
+    # ------------------------------------------------------------- shard LRU
+    def _shard_arrays(self, shard: int) -> Dict[str, "np.ndarray"]:
+        """The open memmaps of one shard (LRU-bounded, demand-paged)."""
+        arrays = self._open_shards.get(shard)
+        if arrays is not None:
+            self._open_shards.move_to_end(shard)
+            return arrays
+        arrays = {
+            field: np.load(_shard_file(self.directory, shard, field), mmap_mode="r")
+            for field, _ in _SHARD_FIELDS
+        }
+        self._open_shards[shard] = arrays
+        _obs.counter("table.shard_opens").inc()
+        while len(self._open_shards) > _MAX_OPEN_SHARDS:
+            self._open_shards.popitem(last=False)
+            _obs.counter("table.shard_evictions").inc()
+        return arrays
+
+    # ----------------------------------------------------- storage overrides
+    def _row_positions(self, row: int) -> "np.ndarray":
+        shard, local = divmod(int(row), self.shard_rows)
+        return self._shard_arrays(shard)["positions"][local]
+
+    def packed_of_row(self, row: int) -> int:
+        return pack_nodes(
+            (int(q), int(r)) for q, r in self._row_positions(row)
+        )
+
+    def _ssync_destination_of_nodes(self, nodes) -> int:
+        # ``pack_nodes`` canonicalizes internally, so packing the successor
+        # node set directly equals the monolithic ``vt.packed[row]`` without
+        # any row lookup at all.
+        return pack_nodes(nodes)
+
+    def _ssync_destinations_of_canonical(self, canonical: "np.ndarray") -> List[int]:
+        return [
+            pack_nodes((int(q), int(r)) for q, r in block) for block in canonical
+        ]
+
+    def array_bytes(self) -> int:
+        """Resident bytes: the narrow graph arrays + the sorted hash index."""
+        own = sum(
+            getattr(self, field).nbytes
+            for field in (
+                "codes", "mover_bits", "mover_count",
+                "kind", "succ", "collision_code",
+            )
+        )
+        vt = self.view
+        own += vt.gathered.nbytes + vt.diameters.nbytes
+        own += vt.canonical_index.hashes.nbytes + vt.canonical_index.order.nbytes
+        return own
+
+    def derive(self, overrides, amendments) -> "SuccessorTable":
+        raise NotImplementedError(
+            "sharded tables are immutable build artifacts; derive against the "
+            "in-RAM table and rebuild the shard store for changed rule sets"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Open / validate.
+# ---------------------------------------------------------------------------
+
+def _read_manifest(directory: str, size: Optional[int] = None) -> Dict:
+    path = os.path.join(directory, "manifest.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ShardedTableError(f"no usable manifest in {directory}: {exc}") from exc
+    if manifest.get("format") != SHARD_FORMAT:
+        raise ShardedTableError(
+            f"shard format {manifest.get('format')!r} != {SHARD_FORMAT} in {directory}"
+        )
+    if size is not None and manifest.get("size") != size:
+        raise ShardedTableError(
+            f"shard store {directory} is for n={manifest.get('size')}, wanted n={size}"
+        )
+    files = manifest.get("files")
+    if not isinstance(files, dict) or not files:
+        raise ShardedTableError(f"manifest of {directory} lists no files")
+    for name, expected in files.items():
+        actual_path = os.path.join(directory, name)
+        try:
+            actual = os.path.getsize(actual_path)
+        except OSError as exc:
+            raise ShardedTableError(f"missing shard file {actual_path}") from exc
+        if actual != expected:
+            raise ShardedTableError(
+                f"shard file {actual_path} is {actual} bytes, manifest says {expected}"
+            )
+    return manifest
+
+
+def open_sharded_table(
+    directory: str, size: Optional[int] = None
+) -> ShardedSuccessorTable:
+    """Open a complete shard store; raises :class:`ShardedTableError` if not.
+
+    Validation is strict — missing manifest (aborted build), format or size
+    mismatch (stale layout) and any file whose byte size disagrees with the
+    manifest (torn write, truncation) all raise, and the caller rebuilds.
+    """
+    manifest = _read_manifest(directory, size)
+    rows = int(manifest["rows"])
+    n = int(manifest["size"])
+    globals_by_name = {
+        name: np.load(_global_file(directory, name), allow_pickle=False)
+        for name, _ in _GLOBAL_FIELDS
+    }
+    codes = np.load(_global_file(directory, "codes"), allow_pickle=False)
+    pos8 = np.load(_global_file(directory, "index_pos8"), mmap_mode="r")
+    hashes = np.load(_global_file(directory, "index_hash"), allow_pickle=False)
+    order = np.load(_global_file(directory, "index_order"), allow_pickle=False)
+    if len(pos8) != rows or any(len(a) != rows for a in globals_by_name.values()):
+        raise ShardedTableError(f"array row counts disagree with manifest in {directory}")
+    index = CanonicalIndex(pos8, hashes=hashes, order=order)
+    view = _ShardedViewAdapter(
+        size=n,
+        visibility_range=int(manifest["visibility_range"]),
+        count=rows,
+        gathered=globals_by_name["gathered"],
+        diameters=globals_by_name["diameters"],
+        index=index,
+    )
+    table = ShardedSuccessorTable(directory, manifest, view, codes, globals_by_name)
+    _obs.counter("table.shard_opens_total").inc()
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Memoized access + worker attachment.
+# ---------------------------------------------------------------------------
+
+def sharded_successor_table(
+    algorithm: GatheringAlgorithm,
+    size: int,
+    cache_dir: Optional[str] = None,
+    shard_rows: Optional[int] = None,
+) -> ShardedSuccessorTable:
+    """The memoized sharded table of ``algorithm`` over the ``size`` space.
+
+    Mirrors :func:`~repro.core.table_kernel.successor_table`: tables attach
+    to the algorithm instance (``algorithm._sharded_tables``), the shard
+    store is opened from disk when a complete one exists and built otherwise.
+    A store that fails validation — stale format, torn files — is deleted and
+    rebuilt, never trusted.
+    """
+    limit = sharded_max_table_size()
+    if not 1 <= size <= limit:
+        raise ValueError(
+            f"the sharded tier supports 1..{limit} robots within the current "
+            f"memory budget, got {size}"
+        )
+    tables = getattr(algorithm, "_sharded_tables", None)
+    if tables is None:
+        tables = {}
+        algorithm._sharded_tables = tables  # type: ignore[attr-defined]
+    table = tables.get(size)
+    if table is None:
+        directory = sharded_table_dir(algorithm, size, shard_rows, cache_dir)
+        try:
+            table = open_sharded_table(directory, size)
+        except ShardedTableError as exc:
+            if os.path.isdir(directory):
+                _LOG.warning("rebuilding shard store %s: %s", directory, exc)
+                _obs.counter("table.shard_rebuilds").inc()
+            build_sharded_table(algorithm, size, directory, shard_rows)
+            table = open_sharded_table(directory, size)
+        tables[size] = table
+    return table
+
+
+@dataclass(frozen=True)
+class ShardedTableHandle:
+    """Picklable pointer workers use to attach one shard store read-only.
+
+    The disk twin of ``shared_tables.SharedTableHandle``: nothing is copied
+    into ``/dev/shm`` — workers memmap the same files and the page cache is
+    the shared memory.  There is nothing to unpublish; the store outlives the
+    pool (it *is* the cache CI persists).
+    """
+
+    directory: str
+    algorithm_name: str
+    size: int
+
+
+def sharded_handle(
+    table: ShardedSuccessorTable, algorithm_name: str
+) -> ShardedTableHandle:
+    """The attachment handle of an open sharded table."""
+    return ShardedTableHandle(
+        directory=table.directory,
+        algorithm_name=algorithm_name,
+        size=table.view.size,
+    )
+
+
+#: Shard stores this process attached (directory -> table), memoized so a
+#: worker opens each store once however many chunks it executes.
+_ATTACHED_SHARDED: Dict[str, ShardedSuccessorTable] = {}
+
+
+def attach_sharded(handle: ShardedTableHandle) -> ShardedSuccessorTable:
+    """Open the store behind ``handle`` and register it on the worker algorithm.
+
+    The engine's sharded dispatch and the runner's batch path both consult
+    ``algorithm._sharded_tables``, so registering here is what routes a
+    worker's chunk executions through the attached store.
+    """
+    table = _ATTACHED_SHARDED.get(handle.directory)
+    if table is None:
+        table = open_sharded_table(handle.directory, handle.size)
+        _ATTACHED_SHARDED[handle.directory] = table
+        _obs.counter("table.shard_attaches").inc()
+    from .runner import worker_algorithm  # late: avoids an import cycle
+
+    algorithm = worker_algorithm(handle.algorithm_name)
+    tables = getattr(algorithm, "_sharded_tables", None)
+    if tables is None:
+        tables = {}
+        algorithm._sharded_tables = tables  # type: ignore[attr-defined]
+    tables.setdefault(handle.size, table)
+    return table
+
+
+def detach_all_sharded() -> None:
+    """Drop every sharded attachment (tests / explicit teardown)."""
+    from .runner import _WORKER_ALGORITHMS  # late: avoids an import cycle
+
+    table_ids = {id(t) for t in _ATTACHED_SHARDED.values()}
+    _ATTACHED_SHARDED.clear()
+    for algorithm in _WORKER_ALGORITHMS.values():
+        memo = getattr(algorithm, "_sharded_tables", None)
+        if memo:
+            for size in [s for s, t in memo.items() if id(t) in table_ids]:
+                del memo[size]

@@ -159,7 +159,7 @@ def publish_table(table: SuccessorTable, algorithm_name: str) -> SharedTableHand
     )
 
 
-def attach_table(handle: SharedTableHandle, register: bool = True) -> SuccessorTable:
+def attach_table(handle, register: bool = True) -> SuccessorTable:
     """Rebuild a :class:`SuccessorTable` around the shared pages of ``handle``.
 
     The arrays are zero-copy read-only views over the segment; the Python-side
@@ -170,7 +170,16 @@ def attach_table(handle: SharedTableHandle, register: bool = True) -> SuccessorT
     and the engine's table dispatch answer from the attachment.
 
     Memoized per segment: a worker pays the mapping once per process.
+
+    Also accepts a :class:`~repro.core.sharded_tables.ShardedTableHandle`,
+    which attaches the disk tier instead (read-only memmaps over the shard
+    store; the page cache is the shared memory) — one dispatch point so the
+    runner's worker entry can mix both tiers in a single handle tuple.
     """
+    from .sharded_tables import ShardedTableHandle, attach_sharded  # late: cycle
+
+    if isinstance(handle, ShardedTableHandle):
+        return attach_sharded(handle)
     cached = _ATTACHED.get(handle.name)
     if cached is not None:
         return cached[1]
@@ -256,6 +265,9 @@ def detach_all() -> None:
     if detached:
         _evict_registrations(detached)
     _obs.gauge("shm.attached_segments").set(0)
+    from .sharded_tables import detach_all_sharded  # late: avoids an import cycle
+
+    detach_all_sharded()
 
 
 def _evict_registrations(tables: List[SuccessorTable]) -> None:

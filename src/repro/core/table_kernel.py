@@ -49,6 +49,7 @@ out-of-scope inputs.
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 from dataclasses import dataclass
@@ -80,9 +81,14 @@ __all__ = [
     "ViewTable",
     "SuccessorTable",
     "TableFsyncVerdict",
+    "CanonicalIndex",
     "estimate_table_bytes",
+    "estimate_sharded_bytes",
     "max_table_size",
     "table_in_scope",
+    "sharded_max_table_size",
+    "sharded_in_scope",
+    "record_peak_rss",
     "subset_masks",
     "view_table",
     "register_view_table",
@@ -142,13 +148,32 @@ def estimate_table_bytes(size: int, visibility_range: int = 2) -> int:
     """Approximate resident footprint of one ``ViewTable`` + ``SuccessorTable``.
 
     Per row: the numpy arrays (positions/views/slots/successors, ~``11n + 20``
-    bytes) plus a pessimistic allowance for the lazily-built canonical-form
-    lookup dictionaries (tuple/byte index), which dominate at Python object
-    prices.  The chunked builds keep transients below this resident cost.
+    bytes) plus a pessimistic allowance for the lazily-built Python-side
+    structures — the eager ``shapes`` tuple of ``Coord`` tuples and the
+    canonical-form lookup dictionaries (tuple/byte/packed index) — which
+    dominate at Python object prices (measured ~1.3 kB/row for the tuple
+    index alone at n=9).  The chunked builds keep transients below this
+    resident cost.  Sizes that fail this bound may still be served out of
+    core by the sharded tier (:func:`sharded_in_scope`), which never builds
+    the Python-side structures.
     """
     rows = state_space_size(size)
-    per_row = (11 * size + 20) + (120 * size + 200)
+    per_row = (11 * size + 20) + (280 * size + 400)
     return rows * per_row
+
+
+def estimate_sharded_bytes(size: int, visibility_range: int = 2) -> int:
+    """Approximate *resident* footprint of one sharded table's global arrays.
+
+    The sharded tier (:mod:`repro.core.sharded_tables`) keeps only the narrow
+    per-row graph arrays in RAM — kind/succ/movers/collision/gathered/
+    diameters, ~19 bytes per row — plus the memmapped canonical-index arrays
+    (hash + order + int8 position block, ``16 + 2n`` bytes per row, paged in
+    on demand).  The wide per-shard payloads (positions, views, move codes)
+    stream from disk with a bounded LRU and never count against the budget.
+    """
+    rows = state_space_size(size)
+    return rows * (35 + 2 * size)
 
 
 def max_table_size(budget: Optional[int] = None) -> int:
@@ -172,6 +197,53 @@ def max_table_size(budget: Optional[int] = None) -> int:
 def table_in_scope(size: int) -> bool:
     """Whether the table kernel covers ``size``-robot configurations."""
     return 1 <= size <= max_table_size()
+
+
+def sharded_max_table_size(budget: Optional[int] = None) -> int:
+    """The sharded tier's size bound: out-of-core tables past the RAM bound.
+
+    A size is admitted when (a) its exact state-space size is known
+    (``FIXED_POLYHEX_COUNTS`` — the sharded tier never builds against an
+    extrapolated count, so a multi-hour build can't be triggered by a scope
+    check alone), (b) the gathering predicate covers it, and (c) the
+    *resident* slice of the sharded layout (:func:`estimate_sharded_bytes`)
+    fits the same ``REPRO_TABLE_MEMORY_BUDGET`` the in-RAM bound uses.
+    With the default budget this is n=10 (362,671 rows).
+    """
+    from ..enumeration.polyhex import FIXED_POLYHEX_COUNTS  # late: cycle
+
+    if budget is None:
+        env = os.environ.get("REPRO_TABLE_MEMORY_BUDGET")
+        budget = int(env) if env else DEFAULT_TABLE_MEMORY_BUDGET
+    best = 0
+    for size in range(1, HARD_MAX_TABLE_SIZE + 1):
+        if size not in FIXED_POLYHEX_COUNTS or estimate_sharded_bytes(size) > budget:
+            break
+        best = size
+    return min(best, max(_MIN_DIAMETER))
+
+
+def sharded_in_scope(size: int) -> bool:
+    """Whether the out-of-core sharded tier covers ``size``-robot spaces."""
+    return 1 <= size <= sharded_max_table_size()
+
+
+def record_peak_rss() -> int:
+    """Record this process's lifetime peak RSS into ``table.peak_rss_bytes``.
+
+    Reads ``resource.getrusage`` (``ru_maxrss`` is KiB on Linux, bytes on
+    macOS); returns the peak in bytes, 0 where ``resource`` is unavailable.
+    Table builds call it so benchmarks can assert the n=10 sharded build
+    stayed under ``REPRO_TABLE_MEMORY_BUDGET``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    peak_bytes = peak if sys.platform == "darwin" else peak * 1024
+    _obs.gauge("table.peak_rss_bytes").set(peak_bytes)
+    return peak_bytes
 
 
 @lru_cache(maxsize=None)
@@ -217,6 +289,100 @@ _MIN_DIAMETER = Configuration._MIN_DIAMETER
 def _sort_key(coords: "np.ndarray") -> "np.ndarray":
     """Monotone scalar key for lexicographic ``(q, r)`` ordering."""
     return coords[..., 0].astype(np.int64) * 65536 + coords[..., 1]
+
+
+#: FNV-1a style multiplier for the polynomial canonical-block hash.
+_HASH_MULT = 0x100000001B3
+
+
+@lru_cache(maxsize=None)
+def _hash_powers(width: int) -> "np.ndarray":
+    """``_HASH_MULT ** (width-1-j) mod 2**64`` per column, highest power first."""
+    powers = np.empty(width, dtype=np.uint64)
+    value = 1
+    for j in range(width - 1, -1, -1):
+        powers[j] = value & 0xFFFFFFFFFFFFFFFF
+        value = (value * _HASH_MULT) & 0xFFFFFFFFFFFFFFFF
+    return powers
+
+
+def _canonical_hash(flat: "np.ndarray") -> "np.ndarray":
+    """uint64 polynomial hash per row of a flat int8 canonical block array."""
+    shifted = (flat.astype(np.int64) + 128).astype(np.uint64)
+    powers = _hash_powers(shifted.shape[1])
+    return (shifted * powers[None, :]).sum(axis=1, dtype=np.uint64)
+
+
+class CanonicalIndex:
+    """Vectorized canonical-position-block -> row lookup.
+
+    Replaces the per-row ``byte_index.get(block.tobytes())`` scalar loop —
+    the last Python inner loop of the table build — with a batched hash /
+    ``searchsorted`` / verify pipeline: hash every query block, binary-search
+    the sorted row hashes, and confirm the candidate row's int8 block matches
+    byte for byte (so a hash collision can slow a lookup down but never
+    corrupt it).  The three backing arrays are plain (or memmapped) ndarrays,
+    which is what lets the sharded tier serve the same lookup from disk.
+    """
+
+    def __init__(
+        self,
+        blocks: "np.ndarray",
+        hashes: Optional["np.ndarray"] = None,
+        order: Optional["np.ndarray"] = None,
+    ) -> None:
+        #: (count, 2n) int8 canonical coordinate blocks, row order.
+        self.blocks = blocks
+        if hashes is None or order is None:
+            raw = _canonical_hash(np.asarray(blocks))
+            order = np.argsort(raw, kind="stable")
+            hashes = raw[order]
+        #: Row hashes sorted ascending, and the row order that sorts them.
+        self.hashes = hashes
+        self.order = order
+
+    def lookup(self, queries: "np.ndarray") -> "np.ndarray":
+        """Rows of the query blocks (int64; -1 where a block is unknown).
+
+        ``queries`` is ``(M, n, 2)`` or ``(M, 2n)`` int8.
+        """
+        if len(queries) == 0:
+            return np.empty(0, dtype=np.int64)
+        flat = np.ascontiguousarray(queries).reshape(len(queries), -1)
+        h = _canonical_hash(flat)
+        hashes = self.hashes
+        lo = np.searchsorted(hashes, h, side="left")
+        safe = np.minimum(lo, len(hashes) - 1)
+        candidate = np.asarray(self.order)[safe].astype(np.int64)
+        ok = (lo < len(hashes)) & (np.asarray(hashes)[safe] == h)
+        ok &= (np.asarray(self.blocks)[candidate] == flat).all(axis=1)
+        rows = np.where(ok, candidate, np.int64(-1))
+        if not bool(ok.all()):
+            # Rare path: a duplicated hash value (or a genuinely unknown
+            # block).  Scan the tied hash range row by row.
+            hi = np.searchsorted(hashes, h, side="right")
+            blocks = np.asarray(self.blocks)
+            order = np.asarray(self.order)
+            for i in np.nonzero(~ok)[0]:
+                for j in range(int(lo[i]), int(hi[i])):
+                    row = int(order[j])
+                    if (blocks[row] == flat[i]).all():
+                        rows[i] = row
+                        break
+        return rows
+
+
+def canonicalize_positions(cpos: "np.ndarray") -> "np.ndarray":
+    """Translate-and-sort a batch of position sets to int8 canonical blocks.
+
+    ``cpos`` is ``(M, n, 2)``; each row is anchored at its lexicographically
+    smallest node and sorted, matching the enumeration's canonical form.
+    """
+    key = _sort_key(cpos)
+    anchor = cpos[np.arange(len(cpos)), key.argmin(axis=1)]
+    rel = cpos - anchor[:, None, :]
+    order = _sort_key(rel).argsort(axis=1)
+    return np.take_along_axis(rel, order[:, :, None], axis=1).astype(np.int8)
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +431,7 @@ class ViewTable:
         self._tuple_index: Optional[Dict[Tuple[Tuple[int, int], ...], int]] = None
         self._packed: Optional[List[int]] = None
         self._packed_index: Optional[Dict[int, int]] = None
+        self._canonical_index: Optional[CanonicalIndex] = None
 
         # Batched Look through a displacement bit LUT, and the geometry pass
         # (hex distances -> diameters, gathering predicate), both computed in
@@ -361,6 +528,7 @@ class ViewTable:
         vt._tuple_index = None
         vt._packed = None
         vt._packed_index = None
+        vt._canonical_index = None
         return vt
 
     # ------------------------------------------------------------------ lookup
@@ -408,6 +576,20 @@ class ViewTable:
             self._packed_index = {p: i for i, p in enumerate(self.packed)}
         return self._packed_index
 
+    @property
+    def canonical_index(self) -> CanonicalIndex:
+        """The vectorized canonical-block -> row index (lazy, array-backed)."""
+        if self._canonical_index is None:
+            blocks = np.ascontiguousarray(
+                self.positions.astype(np.int8).reshape(self.count, -1)
+            )
+            self._canonical_index = CanonicalIndex(blocks)
+        return self._canonical_index
+
+    def rows_of_canonical(self, blocks: "np.ndarray") -> "np.ndarray":
+        """Rows of a batch of int8 canonical blocks (-1 where unknown)."""
+        return self.canonical_index.lookup(blocks)
+
     def slot_of_view(self, bitmask: int) -> Optional[int]:
         """Unique-view slot of ``bitmask`` (``None`` if it never occurs)."""
         position = int(np.searchsorted(self.unique_views, bitmask))
@@ -426,12 +608,25 @@ class ViewTable:
         return np.unique(np.concatenate(pieces))
 
     def row_of_nodes(self, nodes: Iterable[Tuple[int, int]]) -> Optional[int]:
-        """Table row of an arbitrary translate of a canonical shape."""
+        """Table row of an arbitrary translate of a canonical shape.
+
+        Answered through the array-backed canonical index, so single lookups
+        never force the Python tuple dictionary into existence (at n>=9 that
+        dictionary alone costs hundreds of megabytes).
+        """
         pairs = sorted((int(n[0]), int(n[1])) for n in nodes)
         if len(pairs) != self.size:
             return None
         aq, ar = pairs[0]
-        return self.tuple_index.get(tuple((q - aq, r - ar) for q, r in pairs))
+        deltas = [(q - aq, r - ar) for q, r in pairs]
+        # A genuine translate of a canonical shape has every delta within the
+        # shape's extent (< size); anything wider cannot be in the space, and
+        # letting it wrap through the int8 cast could alias a real row.
+        if any(not (-128 <= q <= 127 and -128 <= r <= 127) for q, r in deltas):
+            return None
+        block = np.array(deltas, dtype=np.int8).reshape(1, -1)
+        row = int(self.canonical_index.lookup(block)[0])
+        return row if row >= 0 else None
 
 
 #: Process-wide view-table registry (the old unbounded ``lru_cache``, made
@@ -475,6 +670,156 @@ def clear_table_caches(algorithm: Optional[GatheringAlgorithm] = None) -> None:
         tables = getattr(algorithm, "_successor_tables", None)
         if tables:
             tables.clear()
+
+
+# ---------------------------------------------------------------------------
+# Batch resolution of the full-activation round (shared with the sharded
+# builder in :mod:`repro.core.sharded_tables`).
+# ---------------------------------------------------------------------------
+
+def _collision_flags_pairwise(
+    pos_key: "np.ndarray", target_key: "np.ndarray", movers: "np.ndarray"
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Per-row swap / move-onto-staying / same-target via pairwise tensors.
+
+    The original ``(M, n, n)`` formulation, kept as the byte-identity oracle
+    for :func:`_collision_flags_sorted`.
+    """
+    n = movers.shape[1]
+    hits = (target_key[:, :, None] == pos_key[:, None, :]) & movers[:, :, None]
+    swap = (hits & hits.transpose(0, 2, 1)).any(axis=(1, 2))
+    onto_staying = (hits & ~movers[:, None, :]).any(axis=(1, 2))
+    same = (target_key[:, :, None] == target_key[:, None, :])
+    same &= movers[:, :, None] & movers[:, None, :]
+    same &= ~np.eye(n, dtype=bool)[None, :, :]
+    same_target = same.any(axis=(1, 2))
+    return swap, onto_staying, same_target
+
+
+def _collision_flags_sorted(
+    pos_key: "np.ndarray", target_key: "np.ndarray", movers: "np.ndarray"
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Per-row collision flags via sort + adjacent compare, no pairwise tensors.
+
+    The pairwise formulation allocates three ``(M, n, n)`` boolean tensors
+    per block; this one stays ``(M, 2n)``: encode the quantity each predicate
+    matches on as one scalar per lane, tag the two sides of the match with
+    the low bit, sort each row and look for the consecutive pair
+    ``(2k, 2k + 1)``.  The parity guard on the even side rejects the
+    accidental neighbour pair ``(2k + 1, 2k + 2)``.  Inactive lanes hold
+    per-column sentinel values far above any real key, so they can never
+    form a matching pair.  Canonical coordinates keep every position/target
+    key well inside ``±2**21``, which bounds the packed pair keys below
+    ``2**45`` — comfortably under the sentinels at ``2**50``.
+    """
+    n = movers.shape[1]
+    off = np.int64(1) << 21
+    lane = np.arange(n, dtype=np.int64)
+    sent_a = (np.int64(1) << 50) + lane
+    sent_b = (np.int64(1) << 51) + lane
+
+    # same-target: two movers sharing one target key.
+    keys = np.where(movers, target_key, sent_a)
+    keys = np.sort(keys, axis=1)
+    same_target = (keys[:, 1:] == keys[:, :-1]).any(axis=1)
+
+    # move-onto-staying: a mover's target equals a stayer's position.
+    stay = np.where(movers, sent_a, pos_key) * 2
+    land = np.where(movers, target_key, sent_b) * 2 + 1
+    cat = np.concatenate([stay, land], axis=1)
+    cat.sort(axis=1)
+    onto_staying = ((cat[:, 1:] == cat[:, :-1] + 1) & (cat[:, :-1] % 2 == 0)).any(axis=1)
+
+    # swap: mover a's ordered (position, target) pair equals mover b's
+    # (target, position) pair — pack each ordered pair into one int64.
+    forward = (pos_key + off) * (off * 2) + (target_key + off)
+    reverse = (target_key + off) * (off * 2) + (pos_key + off)
+    fwd = np.where(movers, forward, sent_a) * 2
+    rev = np.where(movers, reverse, sent_b) * 2 + 1
+    cat = np.concatenate([fwd, rev], axis=1)
+    cat.sort(axis=1)
+    swap = ((cat[:, 1:] == cat[:, :-1] + 1) & (cat[:, :-1] % 2 == 0)).any(axis=1)
+    return swap, onto_staying, same_target
+
+
+def _connected_mask(new_pos: "np.ndarray") -> "np.ndarray":
+    """Connectivity per position set, via boolean matmul frontier expansion."""
+    n = new_pos.shape[1]
+    ndq = new_pos[:, None, :, 0] - new_pos[:, :, None, 0]
+    ndr = new_pos[:, None, :, 1] - new_pos[:, :, None, 1]
+    adjacent = (
+        ((np.abs(ndq) + np.abs(ndr) + np.abs(ndq + ndr)) // 2) == 1
+    ).astype(np.uint8)
+    reach = np.zeros((len(new_pos), 1, n), dtype=np.uint8)
+    reach[:, 0, 0] = 1
+    for _ in range(n - 1):
+        reach = np.minimum(reach + np.matmul(reach, adjacent), 1)
+    return reach[:, 0, :].all(axis=1)
+
+
+def resolve_rows_arrays(
+    pos: "np.ndarray",
+    move_code: "np.ndarray",
+    gathered: "np.ndarray",
+    lookup,
+    oracle: bool = False,
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Resolve the full-activation round of a batch of rows, arrays in/out.
+
+    The shared core of the in-RAM ``SuccessorTable`` build and the
+    out-of-core sharded build: ``pos`` is ``(M, n, 2)`` canonical positions,
+    ``move_code`` the ``(M, n)`` per-robot move codes and ``gathered`` the
+    ``(M,)`` gathering predicate.  ``lookup`` maps a batch of int8 canonical
+    successor blocks to rows of whatever index the caller owns — the in-RAM
+    view table or the sharded global index (which is how cross-shard
+    successor pointers resolve to *global* row numbers).  ``oracle=True``
+    selects the pairwise collision tensors instead of the sort +
+    adjacent-compare path.  Returns
+    ``(mover_bits, mover_count, kind, succ, collision_code)``.
+    """
+    count, n = move_code.shape
+    movers = move_code > 0
+    mover_count = movers.sum(axis=1).astype(np.int16)
+    weights = (1 << np.arange(n, dtype=np.int16))
+    mover_bits = (movers * weights).sum(axis=1).astype(np.int16)
+
+    kind = np.full(count, KIND_STEP, dtype=np.int8)
+    succ = np.full(count, -1, dtype=np.int32)
+    collision_code = np.zeros(count, dtype=np.int8)
+
+    quiescent = mover_count == 0
+    kind[quiescent] = np.where(gathered[quiescent], KIND_GATHERED, KIND_DEADLOCK)
+
+    targets = pos + _DELTAS[move_code]  # (M, n, 2)
+
+    # Collision detection, in the engine's precedence order.  Node pairs
+    # compare as scalar lexicographic keys (half the comparisons).
+    pos_key = _sort_key(pos)  # (M, n)
+    target_key = _sort_key(targets)
+    flags = _collision_flags_pairwise if oracle else _collision_flags_sorted
+    swap, onto_staying, same_target = flags(pos_key, target_key, movers)
+    collided = ~quiescent & (swap | onto_staying | same_target)
+    kind[collided] = KIND_COLLISION
+    collision_code[collided] = np.select(
+        [swap[collided], onto_staying[collided]], [1, 2], default=3
+    )
+
+    moving = ~quiescent & ~collided
+    if moving.any():
+        midx = np.nonzero(moving)[0]
+        new_pos = np.where(movers[midx, :, None], targets[midx], pos[midx])
+        connected = _connected_mask(new_pos)
+        kind[midx[~connected]] = KIND_DISCONNECT
+        cidx = midx[connected]
+        if len(cidx) > 0:
+            canonical = canonicalize_positions(new_pos[connected])
+            found = np.asarray(lookup(canonical))
+            if bool((found < 0).any()):  # pragma: no cover - the space is closed
+                raise RuntimeError(
+                    "successor configuration missing from the state space"
+                )
+            succ[cidx] = found
+    return mover_bits, mover_count, kind, succ, collision_code
 
 
 # ---------------------------------------------------------------------------
@@ -610,6 +955,7 @@ class SuccessorTable:
         _obs.counter("table.succ_builds").inc()
         _obs.gauge("table.estimated_bytes").set(estimated)
         _obs.gauge("table.actual_bytes").set(actual)
+        record_peak_rss()
         _obs_record_span(
             "table.succ_build",
             time.perf_counter() - build_start,
@@ -632,7 +978,9 @@ class SuccessorTable:
         return own + self.view.array_bytes()
 
     @classmethod
-    def _from_codes(cls, vt: ViewTable, codes: "np.ndarray") -> "SuccessorTable":
+    def _from_codes(
+        cls, vt: ViewTable, codes: "np.ndarray", oracle: bool = False
+    ) -> "SuccessorTable":
         move_code = codes[vt.view_slot]
         table = cls(
             view=vt,
@@ -644,7 +992,7 @@ class SuccessorTable:
             succ=np.full(vt.count, -1, dtype=np.int32),
             collision_code=np.zeros(vt.count, dtype=np.int8),
         )
-        table._resolve_rows(None)
+        table._resolve_rows(None, oracle=oracle)
         return table
 
     def derive(
@@ -697,99 +1045,47 @@ class SuccessorTable:
         return table
 
     # -------------------------------------------------- vectorized resolution
-    def _resolve_rows(self, rows: Optional["np.ndarray"]) -> None:
+    def _resolve_rows(self, rows: Optional["np.ndarray"], oracle: bool = False) -> None:
         """(Re)compute kind/succ/movers for ``rows`` (``None`` = every row).
 
         Resolution runs in chunked passes over row blocks: the collision and
-        connectivity intermediates are ``(block, n, n)`` arrays, so the peak
-        never exceeds a small multiple of the resident table.
+        connectivity intermediates stay bounded however many rows there are.
+        ``oracle=True`` selects the original pairwise-tensor collision
+        compares and the scalar byte-index successor loop — the byte-identity
+        reference the property tests hold the vectorized path against.
         """
         vt = self.view
         if rows is None:
             rows = np.arange(vt.count, dtype=np.int32)
         for start in range(0, len(rows), _BUILD_BLOCK):
-            self._resolve_block(rows[start : start + _BUILD_BLOCK])
+            self._resolve_block(rows[start : start + _BUILD_BLOCK], oracle=oracle)
         self._summary = None
 
-    def _resolve_block(self, rows: "np.ndarray") -> None:
-        """One bounded-memory resolution pass (the old whole-space body)."""
+    def _resolve_block(self, rows: "np.ndarray", oracle: bool = False) -> None:
+        """One bounded-memory resolution pass over the view table's rows."""
         vt = self.view
         if len(rows) == 0:
             return
-        pos = vt.positions[rows]  # (M, n, 2)
-        mc = self.move_code[rows]  # (M, n)
-        n = vt.size
+        if oracle:
+            byte_index = vt.byte_index
 
-        movers = mc > 0
-        mover_count = movers.sum(axis=1).astype(np.int16)
-        weights = (1 << np.arange(n, dtype=np.int16))
-        self.mover_bits[rows] = (movers * weights).sum(axis=1).astype(np.int16)
-        self.mover_count[rows] = mover_count
+            def lookup(canonical: "np.ndarray") -> "np.ndarray":
+                found = np.empty(len(canonical), dtype=np.int64)
+                for m in range(len(canonical)):
+                    found[m] = byte_index.get(canonical[m].tobytes(), -1)
+                return found
 
-        kind = np.full(len(rows), KIND_STEP, dtype=np.int8)
-        succ = np.full(len(rows), -1, dtype=np.int32)
-        collision_code = np.zeros(len(rows), dtype=np.int8)
-
-        quiescent = mover_count == 0
-        kind[quiescent] = np.where(vt.gathered[rows[quiescent]], KIND_GATHERED, KIND_DEADLOCK)
-
-        targets = pos + _DELTAS[mc]  # (M, n, 2)
-
-        # Collision detection, in the engine's precedence order.  Node pairs
-        # compare as scalar lexicographic keys (half the comparisons).
-        pos_key = _sort_key(pos)  # (M, n)
-        target_key = _sort_key(targets)
-        hits = (target_key[:, :, None] == pos_key[:, None, :]) & movers[:, :, None]
-        swap = (hits & hits.transpose(0, 2, 1)).any(axis=(1, 2))
-        onto_staying = (hits & ~movers[:, None, :]).any(axis=(1, 2))
-        same = (target_key[:, :, None] == target_key[:, None, :])
-        same &= movers[:, :, None] & movers[:, None, :]
-        same &= ~np.eye(n, dtype=bool)[None, :, :]
-        same_target = same.any(axis=(1, 2))
-        collided = ~quiescent & (swap | onto_staying | same_target)
-        kind[collided] = KIND_COLLISION
-        collision_code[collided] = np.select(
-            [swap[collided], onto_staying[collided]], [1, 2], default=3
+        else:
+            lookup = vt.rows_of_canonical
+        mover_bits, mover_count, kind, succ, collision_code = resolve_rows_arrays(
+            vt.positions[rows],
+            self.move_code[rows],
+            vt.gathered[rows],
+            lookup,
+            oracle=oracle,
         )
-
-        moving = ~quiescent & ~collided
-        if moving.any():
-            midx = np.nonzero(moving)[0]
-            new_pos = np.where(movers[midx, :, None], targets[midx], pos[midx])
-            # Connectivity: vectorized frontier expansion from robot 0.
-            ndq = new_pos[:, None, :, 0] - new_pos[:, :, None, 0]
-            ndr = new_pos[:, None, :, 1] - new_pos[:, :, None, 1]
-            adjacent = (
-                ((np.abs(ndq) + np.abs(ndr) + np.abs(ndq + ndr)) // 2) == 1
-            ).astype(np.uint8)
-            reach = np.zeros((len(midx), 1, n), dtype=np.uint8)
-            reach[:, 0, 0] = 1
-            for _ in range(n - 1):
-                reach = np.minimum(reach + np.matmul(reach, adjacent), 1)
-            connected = reach[:, 0, :].all(axis=1)
-            kind[midx[~connected]] = KIND_DISCONNECT
-
-            cidx = midx[connected]
-            if len(cidx) > 0:
-                cpos = np.where(movers[cidx, :, None], targets[cidx], pos[cidx])
-                key = _sort_key(cpos)
-                anchor = cpos[np.arange(len(cidx)), key.argmin(axis=1)]
-                deltas = cpos - anchor[:, None, :]
-                order = _sort_key(deltas).argsort(axis=1)
-                canonical = np.take_along_axis(
-                    deltas, order[:, :, None], axis=1
-                ).astype(np.int8)
-                byte_index = vt.byte_index
-                found = np.empty(len(cidx), dtype=np.int32)
-                for m in range(len(cidx)):
-                    nxt = byte_index.get(canonical[m].tobytes())
-                    if nxt is None:  # pragma: no cover - the space is closed
-                        raise RuntimeError(
-                            "successor configuration missing from the state space"
-                        )
-                    found[m] = nxt
-                succ[cidx] = found
-
+        self.mover_bits[rows] = mover_bits
+        self.mover_count[rows] = mover_count
         self.kind[rows] = kind
         self.succ[rows] = succ
         self.collision_code[rows] = collision_code
@@ -919,9 +1215,17 @@ class SuccessorTable:
         return total
 
     # ------------------------------------------------------------------ walks
+    def packed_of_row(self, row: int) -> int:
+        """Canonical packed integer of a row (the sharded facade overrides)."""
+        return self.view.packed[row]
+
+    def _row_positions(self, row: int) -> "np.ndarray":
+        """Canonical ``(n, 2)`` positions of a row (overridable storage hook)."""
+        return self.view.positions[row]
+
     def disconnected_packed(self, row: int) -> int:
         """Packed form of the (disconnected) full-activation successor of ``row``."""
-        positions = self.view.shapes[row]
+        positions = [(int(q), int(r)) for q, r in self._row_positions(row)]
         mc = self.move_code[row]
         nodes = []
         for i, (q, r) in enumerate(positions):
@@ -940,25 +1244,25 @@ class SuccessorTable:
         the engine's semantics — the statuses, the settled configuration and
         the pre-failure vertex all match the targeted-replay walk.
         """
-        packed = self.view.packed
+        packed = self.packed_of_row
         current = row
         seen = {row}
         for _ in range(max_rounds):
             k = int(self.kind[current])
             if k == KIND_GATHERED:
-                return "gathered", packed[current], packed[current]
+                return "gathered", packed(current), packed(current)
             if k == KIND_DEADLOCK:
-                return "stuck", packed[current], packed[current]
+                return "stuck", packed(current), packed(current)
             if k == KIND_COLLISION:
-                return "collision", packed[current], packed[current]
+                return "collision", packed(current), packed(current)
             if k == KIND_DISCONNECT:
-                return "disconnected", self.disconnected_packed(current), packed[current]
+                return "disconnected", self.disconnected_packed(current), packed(current)
             nxt = int(self.succ[current])
             if nxt in seen:
-                return "livelock", packed[nxt], packed[current]
+                return "livelock", packed(nxt), packed(current)
             seen.add(nxt)
             current = nxt
-        return "round-limit", packed[current], packed[current]
+        return "round-limit", packed(current), packed(current)
 
     def reachable_rows(self, root_rows: Iterable[int]) -> "np.ndarray":
         """Rows reachable from ``root_rows`` along full-activation edges."""
@@ -1005,7 +1309,7 @@ class SuccessorTable:
             elif k == KIND_DISCONNECT:
                 destination = DISCONNECT_SINK
             else:
-                destination = vt.packed[int(self.succ[row])]
+                destination = self.packed_of_row(int(self.succ[row]))
             return ((bits, destination),), None
 
         # SSYNC: one edge per distinct activation effect over mover subsets.
@@ -1044,9 +1348,8 @@ class SuccessorTable:
         Subsets run in :func:`subset_masks` order, so the first-edge-per-
         successor dedup is byte-identical to the old ``combinations`` loop.
         """
-        vt = self.view
-        n = vt.size
-        positions = [(int(q), int(r)) for q, r in vt.shapes[row]]
+        n = self.view.size
+        positions = [(int(q), int(r)) for q, r in self._row_positions(row)]
         mc = self.move_code[row]
         mover_idx: List[int] = []
         targets: List[Tuple[int, int]] = []
@@ -1105,11 +1408,7 @@ class SuccessorTable:
                 if not _is_connected_nodes(nodes):
                     destination = DISCONNECT_SINK
                 else:
-                    aq, ar = min(nodes)
-                    nxt = vt.tuple_index[
-                        tuple(sorted((q - aq, r - ar) for q, r in nodes))
-                    ]
-                    destination = vt.packed[nxt]
+                    destination = self._ssync_destination_of_nodes(nodes)
             if destination not in targets_seen:
                 subset_bits = 0
                 rem = s
@@ -1119,6 +1418,31 @@ class SuccessorTable:
                     rem ^= low
                 targets_seen[destination] = subset_bits
         return targets_seen
+
+    def _ssync_destination_of_nodes(self, nodes: "frozenset") -> int:
+        """Packed destination for a connected SSYNC successor node set.
+
+        The monolithic table answers through the lazy tuple index; the
+        sharded facade overrides with a direct :func:`pack_nodes` call
+        (valid because ``vt.packed[row]`` *is* the canonical packing).
+        """
+        vt = self.view
+        aq, ar = min(nodes)
+        nxt = vt.tuple_index[tuple(sorted((q - aq, r - ar) for q, r in nodes))]
+        return int(vt.packed[nxt])
+
+    def _ssync_destinations_of_canonical(self, canonical: "np.ndarray") -> List[int]:
+        """Packed destinations for a batch of canonical ``(k, n, 2)`` blocks."""
+        vt = self.view
+        rows = vt.rows_of_canonical(
+            np.ascontiguousarray(canonical.reshape(len(canonical), -1))
+        )
+        if (rows < 0).any():  # pragma: no cover - the space is closed
+            raise RuntimeError(
+                "successor configuration missing from the state space"
+            )
+        packed = vt.packed
+        return [int(packed[int(r)]) for r in rows]
 
     def _ssync_targets_vectorized(
         self, row: int, COLLISION_SINK: int, DISCONNECT_SINK: int
@@ -1132,9 +1456,8 @@ class SuccessorTable:
         Subset order is :func:`subset_masks` order, keeping the minimal-mover
         representatives byte-identical to the ``combinations`` path.
         """
-        vt = self.view
-        n = vt.size
-        pos = vt.positions[row].astype(np.int16)  # (n, 2)
+        n = self.view.size
+        pos = np.asarray(self._row_positions(row), dtype=np.int16)  # (n, 2)
         mc = self.move_code[row]
         mover_idx = np.nonzero(mc)[0]  # ascending robot indices
         m = len(mover_idx)
@@ -1196,15 +1519,10 @@ class SuccessorTable:
                 canonical = np.take_along_axis(
                     rel, corder[:, :, None], axis=1
                 ).astype(np.int8)
-                byte_index = vt.byte_index
-                packed = vt.packed
-                for j, block in zip(cidx, canonical):
-                    nxt = byte_index.get(block.tobytes())
-                    if nxt is None:  # pragma: no cover - the space is closed
-                        raise RuntimeError(
-                            "successor configuration missing from the state space"
-                        )
-                    destinations[j] = packed[nxt]
+                for j, dest in zip(
+                    cidx, self._ssync_destinations_of_canonical(canonical)
+                ):
+                    destinations[j] = dest
 
         weights = 1 << np.arange(n, dtype=np.int32)
         robot_bits = (act * weights).sum(axis=1)

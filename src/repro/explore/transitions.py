@@ -322,23 +322,43 @@ def _table_expander(algorithm, mode: str, require_connectivity: bool):
     """An ``expand_packed`` twin that slices the successor table.
 
     Vertices inside the table's scope are answered from the materialized
-    arrays (no views, no ``algorithm.compute``); anything else — oversized or
+    arrays (no views, no ``algorithm.compute``); sizes past the in-RAM bound
+    but within the sharded scope stream from the disk tier
+    (:mod:`repro.core.sharded_tables`).  Anything else — oversized or
     disconnected vertices — falls back to :func:`expand_packed`, so the
     resulting graph is byte-identical either way.
     """
-    from ..core.table_kernel import successor_table, table_in_scope  # late: numpy gate
+    from ..core.table_kernel import (  # late: numpy gate
+        sharded_in_scope,
+        successor_table,
+        table_in_scope,
+    )
 
     tables: Dict[int, object] = {}
 
     def expand(packed: int) -> Tuple[Tuple[Edge, ...], Optional[str]]:
         size = packed_count(packed)
-        if table_in_scope(size) and getattr(algorithm, "deterministic", True):
-            table = tables.get(size)
-            if table is None:
-                table = tables[size] = successor_table(algorithm, size)
-            row = table.view.packed_index.get(packed)
-            if row is not None:
-                return table.expand_row(row, mode)
+        if getattr(algorithm, "deterministic", True):
+            if table_in_scope(size):
+                table = tables.get(size)
+                if table is None:
+                    table = tables[size] = successor_table(algorithm, size)
+                row = table.view.packed_index.get(packed)
+                if row is not None:
+                    return table.expand_row(row, mode)
+            elif sharded_in_scope(size):
+                table = tables.get(size)
+                if table is None:
+                    from ..core.sharded_tables import (  # late: import cycle
+                        sharded_successor_table,
+                    )
+
+                    table = tables[size] = sharded_successor_table(algorithm, size)
+                # The sharded view has no packed dictionary; rows resolve
+                # through the memmapped canonical hash index instead.
+                row = table.view.row_of_nodes(unpack_nodes(packed))
+                if row is not None:
+                    return table.expand_row(row, mode)
         return expand_packed(packed, algorithm, mode, require_connectivity)
 
     return expand
@@ -496,11 +516,14 @@ def build_transition_graph(
             and getattr(algorithm, "deterministic", True)
         ):
             from ..core.shared_tables import publish_table  # late: numpy gate
-            from ..core.table_kernel import successor_table, table_in_scope
-
-            sizes = sorted(
-                {packed_count(p) for p in packed_roots if table_in_scope(packed_count(p))}
+            from ..core.table_kernel import (
+                sharded_in_scope,
+                successor_table,
+                table_in_scope,
             )
+
+            root_sizes = {packed_count(p) for p in packed_roots}
+            sizes = sorted(s for s in root_sizes if table_in_scope(s))
             for table_size in sizes:
                 table = successor_table(
                     algorithm,
@@ -511,6 +534,22 @@ def build_transition_graph(
                 )
                 published.append(publish_table(table, resolved_name))
             handles = tuple(published)
+            # Root sizes past the in-RAM bound ride the disk tier: workers
+            # attach the shard store read-only (nothing copied into shm,
+            # nothing to unlink afterwards).
+            sharded_sizes = sorted(
+                s for s in root_sizes
+                if not table_in_scope(s) and sharded_in_scope(s)
+            )
+            if sharded_sizes:
+                from ..core.sharded_tables import (  # late: import cycle
+                    sharded_handle,
+                    sharded_successor_table,
+                )
+
+                for table_size in sharded_sizes:
+                    table = sharded_successor_table(algorithm, table_size)
+                    handles = handles + (sharded_handle(table, resolved_name),)
         while frontier and expanded < budget:
             take = int(min(len(frontier), budget - expanded))
             batch, frontier = frontier[:take], frontier[take:]

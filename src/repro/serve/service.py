@@ -135,21 +135,37 @@ class GatheringService:
             )
             self._started = True
             return
-        from ..core.table_kernel import successor_table, table_in_scope
+        from ..core.table_kernel import (
+            sharded_in_scope,
+            successor_table,
+            table_in_scope,
+        )
 
         for name in self.algorithm_names:
             algorithm = worker_algorithm(name)
             for size in self.sizes:
-                if not table_in_scope(size):
-                    _LOG.warning("size %d outside the table scope; skipping", size)
-                    continue
-                with span("serve.load_table", algorithm=name, size=size):
-                    table = successor_table(
-                        algorithm, size, algorithm_name=name, disk_cache=self.table_cache
-                    )
-                    # Resolve the functional-graph summary now so the first
-                    # request does not pay for it.
-                    table.fsync_summary()
+                if table_in_scope(size):
+                    with span("serve.load_table", algorithm=name, size=size):
+                        table = successor_table(
+                            algorithm, size, algorithm_name=name,
+                            disk_cache=self.table_cache,
+                        )
+                        # Resolve the functional-graph summary now so the
+                        # first request does not pay for it.
+                        table.fsync_summary()
+                elif sharded_in_scope(size):
+                    # Past the in-RAM bound the service answers from the disk
+                    # tier: the shard store builds (or reopens) once here and
+                    # requests stream from the memmaps.
+                    from ..core.sharded_tables import sharded_successor_table
+
+                    with span("serve.load_sharded_table", algorithm=name, size=size):
+                        table = sharded_successor_table(
+                            algorithm, size, cache_dir=self.table_cache
+                        )
+                        table.fsync_summary()
+                else:
+                    _LOG.warning("size %d outside every table scope; skipping", size)
         if self.publish:
             from ..core.shared_tables import publish_table
             from ..core.table_kernel import successor_table
@@ -351,19 +367,30 @@ class GatheringService:
                     "the census endpoint needs the table kernel (numpy missing)",
                     status=503,
                 )
-            from ..core.table_kernel import successor_table, table_in_scope
+            from ..core.table_kernel import (
+                sharded_in_scope,
+                successor_table,
+                table_in_scope,
+            )
 
-            if not table_in_scope(request.size):
+            if not table_in_scope(request.size) and not sharded_in_scope(request.size):
                 raise ProtocolError(
-                    f"size {request.size} is outside the table scope", field="size"
+                    f"size {request.size} is outside every table scope", field="size"
                 )
             import numpy as np
 
             with span("serve.census", algorithm=request.algorithm, size=request.size):
-                table = successor_table(
-                    algorithm, request.size, algorithm_name=request.algorithm,
-                    disk_cache=self.table_cache,
-                )
+                if table_in_scope(request.size):
+                    table = successor_table(
+                        algorithm, request.size, algorithm_name=request.algorithm,
+                        disk_cache=self.table_cache,
+                    )
+                else:
+                    from ..core.sharded_tables import sharded_successor_table
+
+                    table = sharded_successor_table(
+                        algorithm, request.size, cache_dir=self.table_cache
+                    )
                 verdict = table.fsync_verdict(np.arange(table.view.count))
                 census = verdict.root_census
                 cached = self.census_cache.put(

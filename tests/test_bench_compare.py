@@ -10,6 +10,8 @@ import pytest
 from repro.analysis.census_pins import (
     PINNED_CENSUS,
     PINNED_CENSUS_N8,
+    PINNED_CENSUS_N9,
+    PINNED_CENSUS_N10,
     THEOREM2_ROOTS,
     census_ok,
     census_regressions,
@@ -35,6 +37,9 @@ _REQUIRED_DEFAULTS = {
     "table_sweep_seconds": 1.0,
     "table_sweep_warm_seconds": 1.0,
     "n8_table_sweep_seconds": 1.0,
+    "n9_table_sweep_seconds": 1.0,
+    "n10_shard_build_seconds": 1.0,
+    "shard_sweep_seconds": 1.0,
     "parallel_sweep_seconds": 1.0,
     "telemetry_overhead_seconds": 1.0,
     "telemetry_overhead_disabled_seconds": 1.0,
@@ -332,9 +337,21 @@ def test_nightly_census_reproduces_every_pin(nightly_census, tmp_path):
     assert code == 0
     report = json.loads(report_path.read_text())
     assert report["failures"] == []
-    assert len(report["checks"]) == len(PINNED_CENSUS) + len(PINNED_CENSUS_N8)
+    assert len(report["checks"]) == (
+        len(PINNED_CENSUS)
+        + len(PINNED_CENSUS_N8)
+        + len(PINNED_CENSUS_N9)
+        + len(PINNED_CENSUS_N10)
+    )
     assert all(check["matches"] for check in report["checks"])
-    # The scale-out pins re-derive at n=8 on the table kernel.
+    # The scale-out pins re-derive at n=8/n=9 on the table kernel and at
+    # n=10 through the sharded disk tier.
     n8_checks = [check for check in report["checks"] if check["size"] == 8]
     assert len(n8_checks) == len(PINNED_CENSUS_N8)
     assert all(check["kernel"] == "table" for check in n8_checks)
+    n9_checks = [check for check in report["checks"] if check["size"] == 9]
+    assert len(n9_checks) == len(PINNED_CENSUS_N9)
+    assert all(check["kernel"] == "table" for check in n9_checks)
+    n10_checks = [check for check in report["checks"] if check["size"] == 10]
+    assert len(n10_checks) == len(PINNED_CENSUS_N10)
+    assert all(check["kernel"] == "sharded" for check in n10_checks)

@@ -75,8 +75,10 @@ def test_gathering_predicate_scaled_sizes():
 
 
 def test_gathering_predicate_wrong_size():
+    # The min-diameter table now reaches n=12 (the sharded tier's horizon);
+    # beyond it the predicate is undefined and must refuse, not guess.
     with pytest.raises(InvalidConfigurationError):
-        Configuration([(i % 4, i // 4) for i in range(10)]).is_gathered()
+        Configuration([(i % 4, i // 4) for i in range(13)]).is_gathered()
 
 
 def test_degrees_of_hexagon():

@@ -104,8 +104,12 @@ def test_pinned_census_n8_accessor():
     assert pinned_census("shibata-visibility2", "fsync") == PINNED_CENSUS[
         ("shibata-visibility2", "fsync")
     ]
+    assert sum(pinned_census("shibata-visibility2", "fsync", size=9).values()) == 77359
+    assert sum(pinned_census("shibata-visibility2", "fsync", size=10).values()) == 362671
     with pytest.raises(KeyError):
-        pinned_census("shibata-visibility2", "fsync", size=9)
+        pinned_census("shibata-visibility2", "fsync", size=11)
+    with pytest.raises(KeyError):
+        pinned_census("shibata-visibility2", "ssync", size=10)
 
 
 def test_n8_censuses_match_pins():
